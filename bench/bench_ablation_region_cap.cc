@@ -1,0 +1,44 @@
+// Ablation (Section VI-D): the maximum morphing-region size. The paper's
+// sensitivity analysis found 2 K pages (16 MB) optimal and uses it
+// throughout. Sweeps the cap across three selectivities; small caps throttle
+// flattening (more random jumps), oversized caps add no benefit once the
+// region covers the remaining table.
+
+#include <cstdio>
+
+#include "access/smooth_scan.h"
+#include "bench_util.h"
+#include "workload/micro_bench.h"
+
+using namespace smoothscan;
+using bench::MeasureScan;
+using bench::RunMetrics;
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 512;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 400000;
+  MicroBenchDb db(&engine, spec);
+
+  std::printf("# Ablation: max morphing region (pages); table has %zu pages\n",
+              db.heap().num_pages());
+  std::printf("%-10s %10s %14s %12s %12s\n", "sel(%)", "cap", "time",
+              "io_reqs", "rand_io");
+  const double sels[] = {0.01, 0.2, 1.0};
+  const uint32_t caps[] = {1, 16, 64, 256, 1024, 2048, 8192};
+  for (const double sel : sels) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    for (const uint32_t cap : caps) {
+      SmoothScanOptions so;
+      so.max_region_pages = cap;
+      SmoothScan scan(&db.index(), pred, so);
+      const RunMetrics m = MeasureScan(&engine, &scan);
+      std::printf("%-10.2f %10u %14.1f %12llu %12llu\n", sel * 100.0, cap,
+                  m.total_time, static_cast<unsigned long long>(m.io_requests),
+                  static_cast<unsigned long long>(m.random_ios));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 7: (a) impact of the morphing policy (Greedy vs Selectivity-
+// Increase vs Elastic) and (b) impact of the morphing trigger (Eager vs
+// Optimizer-driven vs SLA-driven), on the micro-benchmark without ORDER BY.
+// The paper's optimizer estimate (15 K of 400 M tuples) and SLA bound (2 full
+// scans, trigger 32 K) are scaled proportionally to the table size; the SLA
+// trigger cardinality is derived from the Section-V cost model exactly as the
+// paper describes.
+
+#include <cstdio>
+
+#include "access/smooth_scan.h"
+#include "bench_util.h"
+#include "cost/cost_model.h"
+#include "workload/micro_bench.h"
+
+using namespace smoothscan;
+using bench::MeasureScan;
+using bench::PrintSweepHeader;
+using bench::PrintSweepRow;
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 512;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 400000;
+  MicroBenchDb db(&engine, spec);
+
+  // The paper's fine-grained grid: dense points at the very low end where
+  // trigger effects appear, then the coarse high end.
+  const double sels[] = {0.0,     0.00001, 0.00002, 0.00004, 0.00006,
+                         0.00008, 0.0001,  0.0005,  0.001,   0.05,
+                         0.1,     0.2,     0.3,     0.5,     0.75,
+                         1.0};
+
+  PrintSweepHeader("Fig 7a: morphing policies", "Eager trigger");
+  for (const double sel : sels) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    const double pct = sel * 100.0;
+    for (const MorphPolicy policy :
+         {MorphPolicy::kGreedy, MorphPolicy::kSelectivityIncrease,
+          MorphPolicy::kElastic}) {
+      SmoothScanOptions so;
+      so.policy = policy;
+      SmoothScan scan(&db.index(), pred, so);
+      PrintSweepRow(pct, MorphPolicyToString(policy),
+                    MeasureScan(&engine, &scan));
+    }
+  }
+
+  // Cost model for the SLA trigger (Section III-C / V).
+  CostModelParams params;
+  params.num_tuples = db.heap().num_tuples();
+  params.tuple_size = static_cast<uint64_t>(
+      8192 / (db.heap().num_tuples() / db.heap().num_pages()));
+  const CostModel model(params);
+  const double sla_bound = 2.0 * model.FullScanCost();
+  const uint64_t sla_trigger = model.SlaTriggerCardinality(sla_bound);
+  // The paper's optimizer estimate, 15 K of 400 M tuples, scaled.
+  const uint64_t optimizer_estimate = std::max<uint64_t>(
+      1, db.heap().num_tuples() * 15000 / 400000000);
+
+  std::printf("\n# SLA bound = %.1f (2 full scans), derived trigger = %llu "
+              "tuples; optimizer estimate = %llu tuples\n",
+              sla_bound, static_cast<unsigned long long>(sla_trigger),
+              static_cast<unsigned long long>(optimizer_estimate));
+  PrintSweepHeader("Fig 7b: morphing triggers", "");
+  for (const double sel : sels) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    const double pct = sel * 100.0;
+
+    SmoothScanOptions eager;
+    eager.policy = MorphPolicy::kElastic;
+    SmoothScan eager_scan(&db.index(), pred, eager);
+    PrintSweepRow(pct, "Eager(Elastic)", MeasureScan(&engine, &eager_scan));
+
+    SmoothScanOptions opt;
+    opt.trigger = MorphTrigger::kOptimizerDriven;
+    opt.optimizer_estimate = optimizer_estimate;
+    opt.post_trigger_policy = MorphPolicy::kSelectivityIncrease;
+    SmoothScan opt_scan(&db.index(), pred, opt);
+    PrintSweepRow(pct, "OptimizerDriven", MeasureScan(&engine, &opt_scan));
+
+    SmoothScanOptions sla;
+    sla.trigger = MorphTrigger::kSlaDriven;
+    sla.sla_trigger_cardinality = sla_trigger;
+    sla.post_trigger_policy = MorphPolicy::kGreedy;  // Section VI-D.
+    SmoothScan sla_scan(&db.index(), pred, sla);
+    PrintSweepRow(pct, "SlaDriven", MeasureScan(&engine, &sla_scan));
+  }
+  return 0;
+}

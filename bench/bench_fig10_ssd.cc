@@ -1,0 +1,50 @@
+// Figure 10: Smooth Scan on SSD (random:sequential = 2:1 instead of the
+// HDD's 10:1). Same micro-benchmark sweep as Fig. 5b, on the SSD device
+// profile. Expected shape: Index Scan stays viable up to ~0.1% (vs 0.01% on
+// HDD) but still loses badly at high selectivity; Smooth Scan beats Sort
+// Scan above ~0.1% and lands within ~10% of Full Scan at 100%.
+
+#include <cstdio>
+
+#include "access/full_scan.h"
+#include "access/index_scan.h"
+#include "access/smooth_scan.h"
+#include "access/sort_scan.h"
+#include "bench_util.h"
+#include "workload/micro_bench.h"
+
+using namespace smoothscan;
+using bench::MeasureScan;
+using bench::PrintSweepHeader;
+using bench::PrintSweepRow;
+
+int main() {
+  EngineOptions options;
+  options.device = DeviceProfile::Ssd();
+  options.buffer_pool_pages = 512;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 400000;
+  MicroBenchDb db(&engine, spec);
+
+  PrintSweepHeader("Fig 10: Smooth Scan on SSD", "rand:seq = 2:1");
+  const double sels[] = {0.0,  0.00001, 0.0001, 0.001, 0.01,
+                         0.05, 0.2,     0.5,    0.75,  1.0};
+  for (const double sel : sels) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    const double pct = sel * 100.0;
+
+    FullScan full(&db.heap(), pred);
+    PrintSweepRow(pct, "FullScan", MeasureScan(&engine, &full));
+
+    IndexScan index(&db.index(), pred);
+    PrintSweepRow(pct, "IndexScan", MeasureScan(&engine, &index));
+
+    SortScan sort_scan(&db.index(), pred);
+    PrintSweepRow(pct, "SortScan", MeasureScan(&engine, &sort_scan));
+
+    SmoothScan smooth(&db.index(), pred);
+    PrintSweepRow(pct, "SmoothScan", MeasureScan(&engine, &smooth));
+  }
+  return 0;
+}

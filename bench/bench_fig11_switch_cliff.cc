@@ -1,0 +1,56 @@
+// Figure 11: Switch Scan's performance cliff and overall benefit. Sweeps
+// selectivity across the optimizer's estimate (scaled from the paper's 32 K
+// of 400 M tuples): below the estimate Switch Scan behaves like an index
+// scan; the moment the estimate is violated the binary switch pays an entire
+// full scan on top of the work already done — the cliff — after which it
+// stays flat at ~full-scan cost. Smooth Scan is shown for contrast: same
+// upper bound, no cliff.
+
+#include <cstdio>
+
+#include "access/full_scan.h"
+#include "access/smooth_scan.h"
+#include "access/switch_scan.h"
+#include "bench_util.h"
+#include "workload/micro_bench.h"
+
+using namespace smoothscan;
+using bench::MeasureScan;
+using bench::PrintSweepHeader;
+using bench::PrintSweepRow;
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 512;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 400000;
+  MicroBenchDb db(&engine, spec);
+
+  // 32 K of 400 M tuples, scaled to this table.
+  const uint64_t estimate =
+      std::max<uint64_t>(1, db.heap().num_tuples() * 32000 / 400000000);
+  std::printf("# optimizer estimate (switch threshold) = %llu tuples\n",
+              static_cast<unsigned long long>(estimate));
+
+  PrintSweepHeader("Fig 11: Switch Scan performance cliff", "");
+  const double sels[] = {0.00001, 0.00002, 0.00004, 0.00006, 0.00008,
+                         0.0001,  0.0002,  0.001,   0.01,    0.1,
+                         0.5,     1.0};
+  for (const double sel : sels) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    const double pct = sel * 100.0;
+
+    FullScan full(&db.heap(), pred);
+    PrintSweepRow(pct, "FullScan", MeasureScan(&engine, &full));
+
+    SwitchScanOptions sw;
+    sw.estimated_cardinality = estimate;
+    SwitchScan switch_scan(&db.index(), pred, sw);
+    PrintSweepRow(pct, "SwitchScan", MeasureScan(&engine, &switch_scan));
+
+    SmoothScan smooth(&db.index(), pred);
+    PrintSweepRow(pct, "SmoothScan", MeasureScan(&engine, &smooth));
+  }
+  return 0;
+}

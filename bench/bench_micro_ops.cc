@@ -1,0 +1,107 @@
+// google-benchmark micro-benchmarks for the hot substrate operations:
+// tuple serialization, page insertion, B+-tree seeks and iterator advance,
+// buffer-pool fetches and the RNG. These guard the constant factors the
+// simulation's wall-clock time depends on (the simulated costs themselves
+// are deterministic).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "index/bplus_tree.h"
+#include "storage/engine.h"
+#include "storage/heap_file.h"
+#include "workload/micro_bench.h"
+
+namespace smoothscan {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_SchemaSerialize(benchmark::State& state) {
+  const Schema schema = MakeIntSchema(10);
+  Tuple t(10, Value::Int64(42));
+  std::vector<uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    schema.Serialize(t, &buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_SchemaSerialize);
+
+void BM_SchemaDeserializeColumn(benchmark::State& state) {
+  const Schema schema = MakeIntSchema(10);
+  Tuple t(10, Value::Int64(42));
+  std::vector<uint8_t> buf;
+  schema.Serialize(t, &buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schema.DeserializeColumn(
+        buf.data(), static_cast<uint32_t>(buf.size()), 1));
+  }
+}
+BENCHMARK(BM_SchemaDeserializeColumn);
+
+void BM_PageInsert(benchmark::State& state) {
+  const uint8_t data[80] = {};
+  for (auto _ : state) {
+    state.PauseTiming();
+    Page page(8192);
+    state.ResumeTiming();
+    while (page.Fits(sizeof(data))) {
+      benchmark::DoNotOptimize(page.Insert(data, sizeof(data)));
+    }
+  }
+}
+BENCHMARK(BM_PageInsert);
+
+class TreeFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (db != nullptr) return;
+    engine = std::make_unique<Engine>();
+    MicroBenchSpec spec;
+    spec.num_tuples = 100000;
+    db = std::make_unique<MicroBenchDb>(engine.get(), spec);
+  }
+  static std::unique_ptr<Engine> engine;
+  static std::unique_ptr<MicroBenchDb> db;
+};
+std::unique_ptr<Engine> TreeFixture::engine;
+std::unique_ptr<MicroBenchDb> TreeFixture::db;
+
+BENCHMARK_F(TreeFixture, BM_BTreeSeek)(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->index().Seek(rng.UniformInt(0, 100000)));
+  }
+}
+
+BENCHMARK_F(TreeFixture, BM_BTreeIterate1K)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto it = db->index().Seek(0);
+    for (int i = 0; i < 1000 && it.Valid(); ++i) it.Next();
+    benchmark::DoNotOptimize(it.Valid());
+  }
+}
+
+BENCHMARK_F(TreeFixture, BM_BufferPoolHit)(benchmark::State& state) {
+  engine->pool().Fetch(db->heap().file_id(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->pool().Fetch(db->heap().file_id(), 0));
+  }
+}
+
+BENCHMARK_F(TreeFixture, BM_HeapRead)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->heap().Read(Tid{0, 0}));
+  }
+}
+
+}  // namespace
+}  // namespace smoothscan
+
+BENCHMARK_MAIN();

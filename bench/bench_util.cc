@@ -1,0 +1,35 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace smoothscan::bench {
+
+RunMetrics MeasureScan(Engine* engine, AccessPath* path) {
+  return MeasureCold(engine, [&]() -> uint64_t {
+    SMOOTHSCAN_CHECK(path->Open().ok());
+    Tuple t;
+    uint64_t n = 0;
+    while (path->Next(&t)) ++n;
+    path->Close();
+    return n;
+  });
+}
+
+void PrintSweepHeader(const std::string& bench, const std::string& extra) {
+  std::printf("# %s%s%s\n", bench.c_str(), extra.empty() ? "" : " — ",
+              extra.c_str());
+  std::printf("%-12s %-28s %14s %12s %12s %10s %10s %12s\n", "sel(%)",
+              "series", "time", "io_time", "cpu_time", "io_reqs", "rand_io",
+              "tuples");
+}
+
+void PrintSweepRow(double selectivity_percent, const std::string& series,
+                   const RunMetrics& m) {
+  std::printf("%-12.4f %-28s %14.1f %12.1f %12.1f %10llu %10llu %12llu\n",
+              selectivity_percent, series.c_str(), m.total_time, m.io_time,
+              m.cpu_time, static_cast<unsigned long long>(m.io_requests),
+              static_cast<unsigned long long>(m.random_ios),
+              static_cast<unsigned long long>(m.tuples));
+}
+
+}  // namespace smoothscan::bench

@@ -1,0 +1,62 @@
+// Shared measurement helpers for the figure/table benchmark binaries. Each
+// bench prints the same series the paper reports; "execution time" is the
+// simulated time of the engine (I/O + CPU), and I/O counters come from the
+// simulated disk. Runs are cold: the buffer pool is flushed before each
+// measured scan, mirroring the paper's cache clearing.
+
+#ifndef SMOOTHSCAN_BENCH_BENCH_UTIL_H_
+#define SMOOTHSCAN_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "access/access_path.h"
+#include "storage/engine.h"
+
+namespace smoothscan::bench {
+
+/// Metrics of one measured run (diffs of engine counters).
+struct RunMetrics {
+  double total_time = 0.0;
+  double io_time = 0.0;
+  double cpu_time = 0.0;
+  uint64_t io_requests = 0;
+  uint64_t random_ios = 0;
+  uint64_t seq_ios = 0;
+  uint64_t pages_read = 0;
+  uint64_t bytes_read = 0;
+  uint64_t tuples = 0;  ///< Tuples produced by the measured operator/query.
+};
+
+/// Runs `body` cold (buffer pool flushed, disk positions reset) and returns
+/// the metric deltas. `body` returns the produced tuple count.
+template <typename Body>
+RunMetrics MeasureCold(Engine* engine, Body&& body) {
+  engine->ColdRestart();
+  const IoStats io_before = engine->disk().stats();
+  const double cpu_before = engine->cpu().time();
+  RunMetrics m;
+  m.tuples = body();
+  const IoStats io = engine->disk().stats() - io_before;
+  m.io_time = io.io_time;
+  m.cpu_time = engine->cpu().time() - cpu_before;
+  m.total_time = m.io_time + m.cpu_time;
+  m.io_requests = io.io_requests;
+  m.random_ios = io.random_ios;
+  m.seq_ios = io.seq_ios;
+  m.pages_read = io.pages_read;
+  m.bytes_read = io.bytes_read;
+  return m;
+}
+
+/// Opens, drains and closes `path` cold; returns the metrics.
+RunMetrics MeasureScan(Engine* engine, AccessPath* path);
+
+/// Prints a standard header / row for selectivity-sweep benches.
+void PrintSweepHeader(const std::string& bench, const std::string& extra);
+void PrintSweepRow(double selectivity_percent, const std::string& series,
+                   const RunMetrics& m);
+
+}  // namespace smoothscan::bench
+
+#endif  // SMOOTHSCAN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Morphable join operators (Section IV-B): applying the Smooth Scan idea one
+// level up. An index nested-loops join that caches every tuple of each inner
+// page it fetches gradually morphs into a hash join — the index is consulted
+// only for keys not yet covered by the cache. Like Smooth Scan, it removes an
+// optimizer decision (INLJ vs hash join) that depends on fragile cardinality
+// estimates.
+//
+//   $ ./build/examples/morphing_join
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/morphing_index_join.h"
+#include "workload/micro_bench.h"
+
+using namespace smoothscan;
+
+namespace {
+
+class KeySource : public Operator {
+ public:
+  KeySource(uint64_t n, int64_t key_max) : n_(n), key_max_(key_max) {}
+  Status Open() override {
+    rng_.Seed(11);
+    produced_ = 0;
+    return Status::OK();
+  }
+  bool Next(Tuple* out) override {
+    if (produced_ >= n_) return false;
+    ++produced_;
+    *out = {Value::Int64(rng_.UniformInt(0, key_max_))};
+    return true;
+  }
+  const char* name() const override { return "KeySource"; }
+
+ private:
+  uint64_t n_;
+  int64_t key_max_;
+  Rng rng_{0};
+  uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 256;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 200000;
+  spec.value_max = 5000;  // ~40 inner matches per key.
+  MicroBenchDb db(&engine, spec);
+
+  std::printf("inner relation: %llu rows / %zu pages, index on c2\n\n",
+              static_cast<unsigned long long>(db.heap().num_tuples()),
+              db.heap().num_pages());
+  std::printf("%-10s %-14s %12s %12s %16s\n", "#probes", "mode", "io_time",
+              "descents", "cache hit rate");
+
+  for (const uint64_t probes : {100ULL, 2000ULL, 50000ULL}) {
+    for (const bool harvest : {false, true}) {
+      MorphingIndexJoinOptions o;
+      o.enable_harvesting = harvest;
+      MorphingIndexJoinOp join(
+          std::make_unique<KeySource>(probes, spec.value_max), &db.index(), 0,
+          o);
+      engine.ColdRestart();
+      const IoStats before = engine.disk().stats();
+      SMOOTHSCAN_CHECK(join.Open().ok());
+      Tuple t;
+      while (join.Next(&t)) {
+      }
+      const double io = (engine.disk().stats() - before).io_time;
+      std::printf("%-10llu %-14s %12.1f %12llu %15.1f%%\n",
+                  static_cast<unsigned long long>(probes),
+                  harvest ? "morphing" : "plain INLJ", io,
+                  static_cast<unsigned long long>(
+                      join.morph_stats().index_descents),
+                  100.0 * join.morph_stats().CacheHitRate());
+    }
+  }
+  std::printf(
+      "\nwith few probes the morphing join behaves like the INLJ; as probes\n"
+      "accumulate it converges to hash-join behaviour (high hit rate, heap\n"
+      "pages read once) without ever choosing between the two up front.\n");
+  return 0;
+}

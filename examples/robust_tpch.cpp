@@ -1,0 +1,62 @@
+// Robust analytics under broken statistics — the paper's motivating
+// scenario. A TPC-H database whose tuning advisor created an index on
+// LINEITEM(l_shipdate); the optimizer's cardinality estimates are stale, so
+// its per-query access-path picks range from optimal to catastrophic.
+// Replacing the access path with Smooth Scan makes every query's cost track
+// the best alternative with no statistics at all.
+//
+//   $ ./build/examples/robust_tpch
+
+#include <cstdio>
+
+#include "tpch/queries.h"
+
+using namespace smoothscan;
+using namespace smoothscan::tpch;
+
+namespace {
+
+struct Measured {
+  double total, cpu, io;
+};
+
+Measured RunCold(Engine* engine, const TpchDb& db, int query, PathKind kind) {
+  engine->ColdRestart();
+  const IoStats io_before = engine->disk().stats();
+  const double cpu_before = engine->cpu().time();
+  RunQuery(query, db, kind);
+  const double io = (engine->disk().stats() - io_before).io_time;
+  const double cpu = engine->cpu().time() - cpu_before;
+  return {io + cpu, cpu, io};
+}
+
+}  // namespace
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 512;
+  Engine engine(options);
+  TpchSpec spec;
+  spec.scale_factor = 0.01;
+  TpchDb db(&engine, spec);
+  std::printf("TPC-H SF %.2f: lineitem %llu rows / %zu pages\n\n",
+              spec.scale_factor,
+              static_cast<unsigned long long>(db.lineitem().num_tuples()),
+              db.lineitem().num_pages());
+
+  std::printf("%-5s %-6s %-22s %12s %14s %10s\n", "query", "sel%",
+              "optimizer's pick", "t(pick)", "t(smooth)", "ratio");
+  for (const int q : {1, 4, 6, 7, 14}) {
+    const PathKind pick = PlainPostgresChoice(q);
+    const Measured plain = RunCold(&engine, db, q, pick);
+    const Measured smooth = RunCold(&engine, db, q, PathKind::kSmoothScan);
+    std::printf("Q%-4d %-6.0f %-22s %12.1f %14.1f %9.2fx\n", q,
+                PaperLineitemSelectivity(q) * 100.0, PathKindToString(pick),
+                plain.total, smooth.total, plain.total / smooth.total);
+  }
+  std::printf(
+      "\nratios > 1 are queries where the statistics-driven choice lost to\n"
+      "the statistics-oblivious Smooth Scan; ratios ~1 are queries where the\n"
+      "optimizer was right and Smooth Scan merely matched it.\n");
+  return 0;
+}

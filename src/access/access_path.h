@@ -1,0 +1,51 @@
+// AccessPath: the common Volcano-style interface of every access path
+// operator (Full Scan, Index Scan, Sort Scan, Switch Scan, Smooth Scan).
+// Open() prepares the scan, Next() produces one tuple at a time, Close()
+// releases state. All I/O flows through the engine's buffer pool and all CPU
+// work through its meter, so a caller can diff engine counters around a scan
+// to obtain the paper's measurements.
+
+#ifndef SMOOTHSCAN_ACCESS_ACCESS_PATH_H_
+#define SMOOTHSCAN_ACCESS_ACCESS_PATH_H_
+
+#include <cstdint>
+
+#include "access/predicate.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace smoothscan {
+
+/// Counters common to all access paths.
+struct AccessPathStats {
+  uint64_t tuples_produced = 0;
+  uint64_t tuples_inspected = 0;
+  uint64_t heap_pages_probed = 0;  ///< Heap page fetch events (incl. repeats).
+};
+
+/// Abstract pipelined access path.
+class AccessPath {
+ public:
+  virtual ~AccessPath() = default;
+
+  /// Prepares the scan. Must be called exactly once before Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next qualifying tuple. Returns false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+
+  /// Releases scan state. Idempotent.
+  virtual void Close() {}
+
+  /// Operator name for reports ("FullScan", "SmoothScan", ...).
+  virtual const char* name() const = 0;
+
+  const AccessPathStats& stats() const { return stats_; }
+
+ protected:
+  AccessPathStats stats_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_ACCESS_PATH_H_

@@ -1,0 +1,57 @@
+#include "access/full_scan.h"
+
+namespace smoothscan {
+
+FullScan::FullScan(const HeapFile* heap, ScanPredicate predicate,
+                   FullScanOptions options)
+    : heap_(heap), predicate_(std::move(predicate)), options_(options) {
+  SMOOTHSCAN_CHECK(options_.read_ahead_pages > 0);
+}
+
+Status FullScan::Open() {
+  next_page_ = 0;
+  num_pages_ = static_cast<PageId>(heap_->num_pages());
+  pending_.clear();
+  return Status::OK();
+}
+
+void FullScan::FillWindow() {
+  Engine* engine = heap_->engine();
+  const Schema& schema = heap_->schema();
+  while (pending_.empty() && next_page_ < num_pages_) {
+    const uint32_t window =
+        std::min<uint32_t>(options_.read_ahead_pages, num_pages_ - next_page_);
+    engine->pool().FetchExtent(heap_->file_id(), next_page_, window);
+    for (uint32_t i = 0; i < window; ++i) {
+      const Page& page =
+          engine->storage().GetPage(heap_->file_id(), next_page_ + i);
+      ++stats_.heap_pages_probed;
+      for (uint16_t s = 0; s < page.num_slots(); ++s) {
+        uint32_t size = 0;
+        const uint8_t* data = page.GetTuple(s, &size);
+        ++stats_.tuples_inspected;
+        engine->cpu().ChargeInspect();
+        // Cheap key check on the serialized bytes before materializing.
+        const int64_t key =
+            schema.DeserializeColumn(data, size, predicate_.column).AsInt64();
+        if (!predicate_.MatchesKey(key)) continue;
+        Tuple tuple = schema.Deserialize(data, size);
+        if (predicate_.residual && !predicate_.residual(tuple)) continue;
+        engine->cpu().ChargeProduce();
+        pending_.push_back(std::move(tuple));
+      }
+    }
+    next_page_ += window;
+  }
+}
+
+bool FullScan::Next(Tuple* out) {
+  if (pending_.empty()) FillWindow();
+  if (pending_.empty()) return false;
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  ++stats_.tuples_produced;
+  return true;
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,34 @@
+// IndexScan: classic non-clustered index scan (Section II, Fig. 2b). One
+// tree descent, then a leaf-order traversal of the qualifying key range with
+// one heap page fetch per entry — the random, possibly repeated access
+// pattern whose degradation under growing selectivity motivates the paper.
+// Emits tuples in index-key order.
+
+#ifndef SMOOTHSCAN_ACCESS_INDEX_SCAN_H_
+#define SMOOTHSCAN_ACCESS_INDEX_SCAN_H_
+
+#include <optional>
+
+#include "access/access_path.h"
+#include "index/bplus_tree.h"
+
+namespace smoothscan {
+
+class IndexScan : public AccessPath {
+ public:
+  /// `predicate.column` must equal `index->key_column()`.
+  IndexScan(const BPlusTree* index, ScanPredicate predicate);
+
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  const char* name() const override { return "IndexScan"; }
+
+ private:
+  const BPlusTree* index_;
+  ScanPredicate predicate_;
+  std::optional<BPlusTree::Iterator> it_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_INDEX_SCAN_H_

@@ -1,0 +1,40 @@
+// ScanPredicate: the selection an access path evaluates. The paper's
+// workloads are range selections on the indexed column (`c2 >= lo AND
+// c2 < hi`) optionally conjoined with residual predicates on other columns
+// (the TPC-H queries). The indexed-column range is what the B+-tree can
+// serve; residuals are evaluated on fetched tuples.
+
+#ifndef SMOOTHSCAN_ACCESS_PREDICATE_H_
+#define SMOOTHSCAN_ACCESS_PREDICATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "storage/schema.h"
+
+namespace smoothscan {
+
+/// A half-open key range [lo, hi) on one INT64/DATE column plus an optional
+/// residual predicate over the full tuple.
+struct ScanPredicate {
+  /// Column the range applies to (the indexed column for index-based paths).
+  int column = 0;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();  ///< Exclusive.
+  /// Optional residual conjunct; null means "always true".
+  std::function<bool(const Tuple&)> residual;
+
+  bool MatchesKey(int64_t key) const { return key >= lo && key < hi; }
+
+  /// Full evaluation against a materialized tuple.
+  bool Matches(const Tuple& tuple) const {
+    const int64_t key = tuple[column].AsInt64();
+    if (!MatchesKey(key)) return false;
+    return !residual || residual(tuple);
+  }
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_PREDICATE_H_

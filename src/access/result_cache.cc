@@ -1,0 +1,112 @@
+#include "access/result_cache.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+ResultCache::ResultCache(std::vector<int64_t> separators, Engine* engine,
+                         ResultCacheOptions options)
+    : separators_(std::move(separators)), engine_(engine), options_(options) {
+  SMOOTHSCAN_CHECK(std::is_sorted(separators_.begin(), separators_.end()));
+  SMOOTHSCAN_CHECK(options_.spill_tuples_per_page > 0);
+  if (options_.max_resident_tuples != UINT64_MAX) {
+    SMOOTHSCAN_CHECK(engine_ != nullptr);
+  }
+  partitions_.resize(separators_.size() + 1);
+}
+
+size_t ResultCache::PartitionOf(int64_t key) const {
+  // Partition i holds keys below separators_[i] (and at/above sep[i-1]).
+  return static_cast<size_t>(
+      std::upper_bound(separators_.begin(), separators_.end(), key) -
+      separators_.begin());
+}
+
+uint32_t ResultCache::SpillPages(size_t n) const {
+  return static_cast<uint32_t>(
+      (n + options_.spill_tuples_per_page - 1) / options_.spill_tuples_per_page);
+}
+
+void ResultCache::MaybeSpill(size_t keep) {
+  if (resident_size_ <= options_.max_resident_tuples) return;
+  if (!spill_file_created_) {
+    spill_file_ = engine_->storage().CreateFile("result_cache_overflow");
+    spill_file_created_ = true;
+  }
+  // Spill from the furthest key range backwards, skipping the partition
+  // currently being filled (spilling it would thrash).
+  for (size_t p = partitions_.size(); p-- > first_live_partition_;) {
+    if (resident_size_ <= options_.max_resident_tuples) break;
+    Partition& part = partitions_[p];
+    if (p == keep || part.spilled || part.tuples.empty()) continue;
+    const uint32_t pages = SpillPages(part.tuples.size());
+    engine_->disk().WriteExtent(spill_file_, next_spill_page_, pages);
+    next_spill_page_ += pages;
+    part.spilled = true;  // Contents retained in memory; I/O is simulated.
+    resident_size_ -= part.tuples.size();
+    ++spill_stats_.spills;
+    spill_stats_.spilled_tuples += part.tuples.size();
+  }
+}
+
+void ResultCache::Restore(size_t p) {
+  Partition& part = partitions_[p];
+  SMOOTHSCAN_CHECK(part.spilled);
+  const uint32_t pages = SpillPages(part.tuples.size());
+  engine_->disk().ReadExtent(spill_file_, 0, pages);
+  part.spilled = false;
+  resident_size_ += part.tuples.size();
+  ++spill_stats_.restores;
+  spill_stats_.restored_tuples += part.tuples.size();
+}
+
+void ResultCache::Insert(int64_t key, Tid tid, Tuple tuple) {
+  const size_t p = PartitionOf(key);
+  SMOOTHSCAN_CHECK(p >= first_live_partition_);
+  Partition& part = partitions_[p];
+  if (part.spilled) Restore(p);
+  auto [it, inserted] = part.tuples.emplace(Pack(tid), std::move(tuple));
+  (void)it;
+  if (inserted) {
+    ++size_;
+    ++resident_size_;
+    ++inserts_;
+    max_size_ = std::max(max_size_, size_);
+    MaybeSpill(p);
+  }
+}
+
+std::optional<Tuple> ResultCache::Take(int64_t key, Tid tid) {
+  const size_t p = PartitionOf(key);
+  if (p < first_live_partition_) return std::nullopt;
+  Partition& part = partitions_[p];
+  if (part.spilled) {
+    // "Overflow files ... are read upon reaching the range keys belong to."
+    Restore(p);
+  }
+  auto it = part.tuples.find(Pack(tid));
+  if (it == part.tuples.end()) return std::nullopt;
+  Tuple tuple = std::move(it->second);
+  part.tuples.erase(it);
+  --size_;
+  --resident_size_;
+  return tuple;
+}
+
+uint64_t ResultCache::EvictBelow(int64_t key) {
+  uint64_t evicted = 0;
+  // Partition p's keys are < separators_[p]; it is dead once key >= sep[p].
+  while (first_live_partition_ < separators_.size() &&
+         key >= separators_[first_live_partition_]) {
+    Partition& part = partitions_[first_live_partition_];
+    evicted += part.tuples.size();
+    size_ -= part.tuples.size();
+    if (!part.spilled) resident_size_ -= part.tuples.size();
+    part.tuples.clear();
+    part.spilled = false;
+    ++first_live_partition_;
+  }
+  return evicted;
+}
+
+}  // namespace smoothscan

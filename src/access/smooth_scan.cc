@@ -1,0 +1,302 @@
+#include "access/smooth_scan.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+const char* MorphPolicyToString(MorphPolicy policy) {
+  switch (policy) {
+    case MorphPolicy::kGreedy:
+      return "Greedy";
+    case MorphPolicy::kSelectivityIncrease:
+      return "SelectivityIncrease";
+    case MorphPolicy::kElastic:
+      return "Elastic";
+  }
+  return "?";
+}
+
+const char* MorphTriggerToString(MorphTrigger trigger) {
+  switch (trigger) {
+    case MorphTrigger::kEager:
+      return "Eager";
+    case MorphTrigger::kOptimizerDriven:
+      return "OptimizerDriven";
+    case MorphTrigger::kSlaDriven:
+      return "SlaDriven";
+  }
+  return "?";
+}
+
+SmoothScan::SmoothScan(const BPlusTree* index, ScanPredicate predicate,
+                       SmoothScanOptions options)
+    : index_(index), predicate_(std::move(predicate)), options_(options) {
+  SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
+  SMOOTHSCAN_CHECK(options_.max_region_pages >= 1);
+}
+
+Status SmoothScan::Open() {
+  sstats_ = SmoothScanStats();
+  emit_.clear();
+  region_pages_ = 1;
+  page_cache_ = std::make_unique<PageIdCache>(index_->heap()->num_pages());
+
+  switch (options_.trigger) {
+    case MorphTrigger::kEager:
+      morphing_ = true;
+      active_policy_ = options_.policy;
+      break;
+    case MorphTrigger::kOptimizerDriven:
+      morphing_ = false;
+      pretrigger_bound_ = options_.optimizer_estimate;
+      active_policy_ = options_.post_trigger_policy;
+      if (!options_.positional_dedup) {
+        tuple_cache_ = std::make_unique<TupleIdCache>();
+      }
+      break;
+    case MorphTrigger::kSlaDriven:
+      morphing_ = false;
+      pretrigger_bound_ = options_.sla_trigger_cardinality;
+      active_policy_ = options_.post_trigger_policy;
+      if (!options_.positional_dedup) {
+        tuple_cache_ = std::make_unique<TupleIdCache>();
+      }
+      break;
+  }
+  m0_any_ = false;
+  if (options_.preserve_order) {
+    ResultCacheOptions rc_options;
+    rc_options.max_resident_tuples = options_.result_cache_budget;
+    result_cache_ = std::make_unique<ResultCache>(
+        index_->RootSeparators(), index_->heap()->engine(), rc_options);
+  }
+  it_ = index_->Seek(predicate_.lo);
+  // A zero pre-trigger bound (e.g. an optimizer estimate of 0 tuples) means
+  // the very first tuple already violates it: morph immediately.
+  MaybeTrigger();
+  return Status::OK();
+}
+
+void SmoothScan::MaybeTrigger() {
+  if (morphing_) return;
+  if (stats_.tuples_produced >= pretrigger_bound_) {
+    morphing_ = true;
+    sstats_.triggered = true;
+    sstats_.trigger_cardinality = stats_.tuples_produced;
+  }
+}
+
+bool SmoothScan::Mode0Step(Tuple* out) {
+  const HeapFile* heap = index_->heap();
+  Engine* engine = heap->engine();
+  const Tid tid = it_->tid();
+  it_->Next();
+  Tuple tuple = heap->Read(tid);  // Single-tuple look-up: random I/O.
+  ++stats_.heap_pages_probed;
+  ++stats_.tuples_inspected;
+  engine->cpu().ChargeInspect();
+  if (predicate_.residual && !predicate_.residual(tuple)) return false;
+  if (tuple_cache_ != nullptr) {
+    tuple_cache_->Insert(tid);
+    engine->cpu().ChargeCacheOp();
+  } else {
+    // Positional dedup: the index is strictly (key, Tid)-ordered, so the
+    // last produced position identifies everything produced so far.
+    m0_any_ = true;
+    m0_last_key_ = tuple[predicate_.column].AsInt64();
+    m0_last_tid_ = tid;
+  }
+  engine->cpu().ChargeProduce();
+  ++stats_.tuples_produced;
+  ++sstats_.card_mode0;
+  *out = std::move(tuple);
+  MaybeTrigger();
+  return true;
+}
+
+void SmoothScan::UpdatePolicy(uint64_t region_pages,
+                              uint64_t region_result_pages) {
+  if (!options_.enable_flattening) return;
+  const bool denser =
+      sstats_.pages_seen == 0 ||
+      static_cast<double>(region_result_pages) *
+              static_cast<double>(sstats_.pages_seen) >=
+          static_cast<double>(sstats_.pages_with_results) *
+              static_cast<double>(region_pages);
+  switch (active_policy_) {
+    case MorphPolicy::kGreedy:
+      region_pages_ = std::min(region_pages_ * 2, options_.max_region_pages);
+      ++sstats_.expansions;
+      break;
+    case MorphPolicy::kSelectivityIncrease:
+      if (denser) {
+        region_pages_ = std::min(region_pages_ * 2, options_.max_region_pages);
+        ++sstats_.expansions;
+      }
+      break;
+    case MorphPolicy::kElastic:
+      if (denser) {
+        region_pages_ = std::min(region_pages_ * 2, options_.max_region_pages);
+        ++sstats_.expansions;
+      } else {
+        region_pages_ = std::max(region_pages_ / 2, 1u);
+        ++sstats_.shrinks;
+      }
+      break;
+  }
+}
+
+void SmoothScan::FetchRegionAndHarvest(PageId target) {
+  const HeapFile* heap = index_->heap();
+  Engine* engine = heap->engine();
+  const Schema& schema = heap->schema();
+  const PageId num_pages = static_cast<PageId>(heap->num_pages());
+
+  const uint32_t want = options_.enable_flattening ? region_pages_ : 1;
+  const uint32_t count = std::min<uint32_t>(want, num_pages - target);
+  // Fetch only the pages of the region that were not processed before
+  // ("pages processed in Mode 1 are skipped in Mode 2"), coalescing
+  // contiguous unprocessed pages into single extent requests.
+  for (uint32_t i = 0; i < count;) {
+    if (page_cache_->IsMarked(target + i)) {
+      ++i;
+      continue;
+    }
+    uint32_t run = 1;
+    while (i + run < count && !page_cache_->IsMarked(target + i + run)) ++run;
+    engine->pool().FetchExtent(heap->file_id(), target + i, run);
+    i += run;
+  }
+  ++sstats_.probes;
+
+  uint64_t region_pages_seen = 0;
+  uint64_t region_result_pages = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const PageId pid = target + i;
+    if (page_cache_->IsMarked(pid)) continue;  // Harvested earlier.
+    page_cache_->Mark(pid);
+    engine->cpu().ChargeCacheOp();
+    ++stats_.heap_pages_probed;
+    ++region_pages_seen;
+
+    const Page& page = engine->storage().GetPage(heap->file_id(), pid);
+    bool page_has_result = false;
+    for (uint16_t s = 0; s < page.num_slots(); ++s) {
+      uint32_t size = 0;
+      const uint8_t* data = page.GetTuple(s, &size);
+      ++stats_.tuples_inspected;
+      engine->cpu().ChargeInspect();
+      const int64_t key =
+          schema.DeserializeColumn(data, size, predicate_.column).AsInt64();
+      if (!predicate_.MatchesKey(key)) continue;
+      Tuple tuple = schema.Deserialize(data, size);
+      if (predicate_.residual && !predicate_.residual(tuple)) continue;
+      page_has_result = true;
+      const Tid tid{pid, s};
+      // Under a non-eager trigger, tuples already produced in Mode 0 must
+      // not be produced again.
+      if (tuple_cache_ != nullptr) {
+        engine->cpu().ChargeCacheOp();
+        if (tuple_cache_->Contains(tid)) continue;
+      } else if (options_.positional_dedup && m0_any_) {
+        // Mode 0 produced every qualifying tuple positioned at or before
+        // (m0_last_key_, m0_last_tid_) in the strict (key, Tid) order.
+        if (key < m0_last_key_ ||
+            (key == m0_last_key_ && !(m0_last_tid_ < tid))) {
+          continue;
+        }
+      }
+      if (count > 1) {
+        ++sstats_.card_mode2;
+      } else {
+        ++sstats_.card_mode1;
+      }
+      if (options_.preserve_order) {
+        engine->cpu().ChargeCacheOp();
+        engine->cpu().ChargeProduce();
+        result_cache_->Insert(key, tid, std::move(tuple));
+        ++sstats_.rc_inserts;
+        sstats_.rc_max_size = std::max(sstats_.rc_max_size,
+                                       result_cache_->max_size());
+      } else {
+        engine->cpu().ChargeProduce();
+        emit_.push_back(std::move(tuple));
+      }
+    }
+    if (page_has_result) ++region_result_pages;
+    if (pid != target) {
+      ++sstats_.morph_checked_pages;
+      if (page_has_result) ++sstats_.morph_result_pages;
+    }
+  }
+  // The policy compares the region's local selectivity (Eq. 1) against the
+  // global selectivity of the pages seen *before* this region (Eq. 2).
+  UpdatePolicy(region_pages_seen, region_result_pages);
+  sstats_.pages_seen += region_pages_seen;
+  sstats_.pages_with_results += region_result_pages;
+}
+
+bool SmoothScan::NextUnordered(Tuple* out) {
+  Engine* engine = index_->heap()->engine();
+  while (true) {
+    if (!emit_.empty()) {
+      *out = std::move(emit_.front());
+      emit_.pop_front();
+      ++stats_.tuples_produced;
+      return true;
+    }
+    if (!it_->Valid() || it_->key() >= predicate_.hi) return false;
+    if (!morphing_) {
+      if (Mode0Step(out)) return true;
+      continue;
+    }
+    const Tid tid = it_->tid();
+    engine->cpu().ChargeCacheOp();  // Page ID Cache bit check.
+    if (page_cache_->IsMarked(tid.page_id)) {
+      it_->Next();  // Skip the leaf pointer (the X marks in Fig. 3).
+      continue;
+    }
+    FetchRegionAndHarvest(tid.page_id);
+    it_->Next();
+  }
+}
+
+bool SmoothScan::NextOrdered(Tuple* out) {
+  Engine* engine = index_->heap()->engine();
+  while (true) {
+    if (!it_->Valid() || it_->key() >= predicate_.hi) return false;
+    if (!morphing_) {
+      // Plain index scan is naturally ordered.
+      if (Mode0Step(out)) return true;
+      continue;
+    }
+    const Tid tid = it_->tid();
+    const int64_t key = it_->key();
+    ++sstats_.rc_probes;
+    engine->cpu().ChargeCacheOp();
+    std::optional<Tuple> cached = result_cache_->Take(key, tid);
+    if (cached) {
+      ++sstats_.rc_hits;  // Served from the cache without new I/O.
+    } else {
+      engine->cpu().ChargeCacheOp();  // Page ID Cache bit check.
+      if (!page_cache_->IsMarked(tid.page_id)) {
+        FetchRegionAndHarvest(tid.page_id);
+        // The entry's tuple is now cached unless it failed the residual
+        // predicate or was produced pre-trigger.
+        cached = result_cache_->Take(key, tid);
+      }
+    }
+    it_->Next();
+    if (!cached) continue;  // Residual failure / Mode-0 duplicate: skip.
+    result_cache_->EvictBelow(key);
+    ++stats_.tuples_produced;
+    *out = std::move(*cached);
+    return true;
+  }
+}
+
+bool SmoothScan::Next(Tuple* out) {
+  return options_.preserve_order ? NextOrdered(out) : NextUnordered(out);
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,175 @@
+// SmoothScan: the paper's statistics-oblivious morphable access path
+// (Sections III–IV). Starts from index-driven access and *continuously*
+// morphs toward a full table scan as observed selectivity grows — no binary
+// switch, no reliance on optimizer statistics.
+//
+// Modes (Section III-A):
+//   Mode 0  Index Scan        — only under non-eager triggers, before the
+//                               trigger fires: plain tuple look-ups.
+//   Mode 1  Entire Page Probe — every fetched heap page is probed fully,
+//                               trading CPU for the elimination of repeated
+//                               page accesses (Page ID Cache).
+//   Mode 2+ Flattening Access — each index-driven fetch reads a *morphing
+//                               region* of adjacent pages with one I/O
+//                               request; the region size expands (and, under
+//                               Elastic, shrinks) in powers of two.
+//
+// Policies (Section III-B): Greedy, Selectivity-Increase, Elastic. Region
+// growth compares the local selectivity of the last region (Eq. 1) against
+// the global selectivity of all pages seen (Eq. 2). We grow on
+// `local >= global`: with the paper's strict `>` a uniformly selective table
+// would keep local == global forever and freeze the operator in Mode 1,
+// contradicting the convergence toward a full scan shown in Figs. 5–7.
+//
+// Triggers (Section III-C): Eager (default — morph from the first tuple),
+// Optimizer-driven (morph once the estimate is violated) and SLA-driven
+// (morph at the trigger cardinality derived from the cost model; compute it
+// with CostModel::SlaTriggerCardinality and pass it in).
+
+#ifndef SMOOTHSCAN_ACCESS_SMOOTH_SCAN_H_
+#define SMOOTHSCAN_ACCESS_SMOOTH_SCAN_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "access/access_path.h"
+#include "access/page_id_cache.h"
+#include "access/result_cache.h"
+#include "access/tuple_id_cache.h"
+#include "index/bplus_tree.h"
+
+namespace smoothscan {
+
+/// Morphing-region growth policy (Section III-B).
+enum class MorphPolicy {
+  kGreedy,               ///< Double after every index-driven probe.
+  kSelectivityIncrease,  ///< Double when local sel >= global sel; never shrink.
+  kElastic,              ///< Two-way: double on denser, halve on sparser.
+};
+
+/// When morphing begins (Section III-C).
+enum class MorphTrigger {
+  kEager,            ///< From the first tuple (the paper's default).
+  kOptimizerDriven,  ///< After the optimizer's cardinality estimate is hit.
+  kSlaDriven,        ///< At the cost-model-derived SLA trigger cardinality.
+};
+
+const char* MorphPolicyToString(MorphPolicy policy);
+const char* MorphTriggerToString(MorphTrigger trigger);
+
+struct SmoothScanOptions {
+  MorphPolicy policy = MorphPolicy::kElastic;
+  MorphTrigger trigger = MorphTrigger::kEager;
+  /// Policy adopted once a non-eager trigger fires. The paper continues with
+  /// Selectivity-Increase after an optimizer trigger and with Greedy after an
+  /// SLA trigger (Section VI-D).
+  MorphPolicy post_trigger_policy = MorphPolicy::kSelectivityIncrease;
+  /// kOptimizerDriven: the estimate whose violation triggers morphing.
+  uint64_t optimizer_estimate = 0;
+  /// kSlaDriven: trigger cardinality (see CostModel::SlaTriggerCardinality).
+  uint64_t sla_trigger_cardinality = 0;
+  /// Cap on the morphing region (the paper found 2 K pages = 16 MB optimal).
+  uint32_t max_region_pages = 2048;
+  /// When false the operator never leaves Mode 1 (Fig. 6's
+  /// "Entire Page Probe" curve).
+  bool enable_flattening = true;
+  /// Maintain the index's interesting order via the Result Cache (needed for
+  /// ORDER BY / Merge Join consumers).
+  bool preserve_order = false;
+  /// Resident-tuple budget of the Result Cache before its furthest key-range
+  /// partitions spill to a simulated overflow file (Section IV-A).
+  uint64_t result_cache_budget = UINT64_MAX;
+  /// Deduplicate pre-trigger results positionally instead of with the Tuple
+  /// ID Cache: the paper notes that with a strict (indexkey, TID) ordering in
+  /// the secondary index "it is sufficient to remember the last tuple we
+  /// reached with the traditional index". Requires a bulk-built (globally
+  /// (key, TID)-ordered) index; only meaningful for non-eager triggers.
+  bool positional_dedup = false;
+};
+
+/// Operator-specific counters, exposed for the paper's Figs. 6–9 analyses.
+struct SmoothScanStats {
+  uint64_t card_mode0 = 0;  ///< Tuples produced pre-trigger (plain index).
+  uint64_t card_mode1 = 0;  ///< Tuples from single-page probes.
+  uint64_t card_mode2 = 0;  ///< Tuples from flattened regions.
+  uint64_t probes = 0;      ///< Index-driven region fetches.
+  uint64_t expansions = 0;
+  uint64_t shrinks = 0;
+  uint64_t pages_seen = 0;          ///< Distinct heap pages probed.
+  uint64_t pages_with_results = 0;  ///< ... of which contained a result.
+  /// Morphing accuracy inputs (Fig. 9b): pages fetched *beyond* the
+  /// index-targeted page, and how many of them contained results.
+  uint64_t morph_checked_pages = 0;
+  uint64_t morph_result_pages = 0;
+  /// Result Cache counters (Fig. 9a).
+  uint64_t rc_probes = 0;
+  uint64_t rc_hits = 0;
+  uint64_t rc_inserts = 0;
+  uint64_t rc_max_size = 0;
+  bool triggered = false;         ///< Non-eager trigger fired.
+  uint64_t trigger_cardinality = 0;
+
+  double MorphingAccuracy() const {
+    return morph_checked_pages == 0
+               ? 1.0
+               : static_cast<double>(morph_result_pages) /
+                     static_cast<double>(morph_checked_pages);
+  }
+  double ResultCacheHitRate() const {
+    return rc_probes == 0
+               ? 0.0
+               : static_cast<double>(rc_hits) / static_cast<double>(rc_probes);
+  }
+};
+
+class SmoothScan : public AccessPath {
+ public:
+  SmoothScan(const BPlusTree* index, ScanPredicate predicate,
+             SmoothScanOptions options = SmoothScanOptions());
+
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  const char* name() const override { return "SmoothScan"; }
+
+  const SmoothScanOptions& options() const { return options_; }
+  const SmoothScanStats& smooth_stats() const { return sstats_; }
+  uint32_t current_region_pages() const { return region_pages_; }
+
+ private:
+  bool NextUnordered(Tuple* out);
+  bool NextOrdered(Tuple* out);
+  /// Pre-trigger plain index-scan step. Returns true when `out` was filled.
+  bool Mode0Step(Tuple* out);
+  /// Fires the trigger when the pre-trigger cardinality bound is exceeded.
+  void MaybeTrigger();
+  /// Fetches the morphing region anchored at `target` (one I/O request),
+  /// harvests all qualifying tuples from unprocessed pages, and updates the
+  /// policy state.
+  void FetchRegionAndHarvest(PageId target);
+  void UpdatePolicy(uint64_t region_pages, uint64_t region_result_pages);
+
+  const BPlusTree* index_;
+  ScanPredicate predicate_;
+  SmoothScanOptions options_;
+  SmoothScanStats sstats_;
+
+  MorphPolicy active_policy_;
+  bool morphing_ = false;  ///< False while Mode 0 (pre-trigger) is running.
+  uint64_t pretrigger_bound_ = 0;
+  // Positional dedup state: last (key, Tid) produced by Mode 0.
+  bool m0_any_ = false;
+  int64_t m0_last_key_ = 0;
+  Tid m0_last_tid_{};
+
+  std::optional<BPlusTree::Iterator> it_;
+  std::unique_ptr<PageIdCache> page_cache_;
+  std::unique_ptr<TupleIdCache> tuple_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
+  std::deque<Tuple> emit_;
+  uint32_t region_pages_ = 1;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_SMOOTH_SCAN_H_

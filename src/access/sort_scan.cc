@@ -1,0 +1,94 @@
+#include "access/sort_scan.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+SortScan::SortScan(const BPlusTree* index, ScanPredicate predicate,
+                   SortScanOptions options)
+    : index_(index), predicate_(std::move(predicate)), options_(options) {
+  SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
+}
+
+Status SortScan::Open() {
+  const HeapFile* heap = index_->heap();
+  Engine* engine = heap->engine();
+  results_.clear();
+  next_result_ = 0;
+  pages_fetched_ = 0;
+
+  // Phase 1: harvest qualifying TIDs from the index leaves.
+  std::vector<Tid> tids;
+  for (BPlusTree::Iterator it = index_->Seek(predicate_.lo);
+       it.Valid() && it.key() < predicate_.hi; it.Next()) {
+    tids.push_back(it.tid());
+  }
+
+  // Phase 2: sort TIDs in heap order — the blocking pre-sort.
+  engine->cpu().ChargeSort(tids.size());
+  std::sort(tids.begin(), tids.end());
+
+  // Phase 3: fetch the result pages, coalescing consecutive page ids into
+  // single extent requests ("easily detected by disk prefetchers").
+  struct KeyedTuple {
+    int64_t key;
+    Tid tid;
+    Tuple tuple;
+  };
+  std::vector<KeyedTuple> keyed;
+  // Extent chunks stay well below the buffer-pool capacity so that a long
+  // run of consecutive result pages is consumed before any of it is evicted.
+  const uint32_t kChunkPages = 64;
+  size_t i = 0;
+  while (i < tids.size()) {
+    // Extent of consecutive distinct pages starting at tids[i].
+    size_t j = i;
+    const PageId first_page = tids[i].page_id;
+    PageId last_page = first_page;
+    uint32_t extent_pages = 1;
+    while (j + 1 < tids.size() &&
+           (tids[j + 1].page_id == last_page ||
+            tids[j + 1].page_id == last_page + 1) &&
+           tids[j + 1].page_id - first_page < kChunkPages) {
+      if (tids[j + 1].page_id == last_page + 1) {
+        ++extent_pages;
+        last_page = tids[j + 1].page_id;
+      }
+      ++j;
+    }
+    engine->pool().FetchExtent(heap->file_id(), first_page, extent_pages);
+    pages_fetched_ += extent_pages;
+    stats_.heap_pages_probed += extent_pages;
+    for (size_t k = i; k <= j; ++k) {
+      Tuple tuple = heap->Read(tids[k]);  // Resident: buffer-pool hit.
+      ++stats_.tuples_inspected;
+      engine->cpu().ChargeInspect();
+      if (predicate_.residual && !predicate_.residual(tuple)) continue;
+      engine->cpu().ChargeProduce();
+      keyed.push_back(
+          {tuple[predicate_.column].AsInt64(), tids[k], std::move(tuple)});
+    }
+    i = j + 1;
+  }
+
+  // Phase 4 (optional): posterior sort restoring the interesting order.
+  if (options_.preserve_order) {
+    engine->cpu().ChargeSort(keyed.size());
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const KeyedTuple& a, const KeyedTuple& b) {
+                       return a.key != b.key ? a.key < b.key : a.tid < b.tid;
+                     });
+  }
+  results_.reserve(keyed.size());
+  for (KeyedTuple& kt : keyed) results_.push_back(std::move(kt.tuple));
+  return Status::OK();
+}
+
+bool SortScan::Next(Tuple* out) {
+  if (next_result_ >= results_.size()) return false;
+  *out = std::move(results_[next_result_++]);
+  ++stats_.tuples_produced;
+  return true;
+}
+
+}  // namespace smoothscan

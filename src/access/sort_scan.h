@@ -1,0 +1,49 @@
+// SortScan (PostgreSQL's Bitmap Heap Scan; Section II). Collects all
+// qualifying TIDs from the index, sorts them in heap-page order, then fetches
+// the matching pages (and only those) with a nearly sequential pattern. The
+// price is a blocking execution model, and — when the consumer needs the
+// index order — a posterior sort of the result tuples.
+
+#ifndef SMOOTHSCAN_ACCESS_SORT_SCAN_H_
+#define SMOOTHSCAN_ACCESS_SORT_SCAN_H_
+
+#include <vector>
+
+#include "access/access_path.h"
+#include "index/bplus_tree.h"
+
+namespace smoothscan {
+
+struct SortScanOptions {
+  /// Re-sort the results by index key before emitting, restoring the
+  /// "interesting order" that TID sorting destroyed (Section II's discussion
+  /// of the broken natural index ordering).
+  bool preserve_order = false;
+};
+
+class SortScan : public AccessPath {
+ public:
+  SortScan(const BPlusTree* index, ScanPredicate predicate,
+           SortScanOptions options = SortScanOptions());
+
+  /// Blocking: performs the index traversal, TID sort and all heap I/O.
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  const char* name() const override { return "SortScan"; }
+
+  /// Heap pages fetched (distinct by construction).
+  uint64_t pages_fetched() const { return pages_fetched_; }
+
+ private:
+  const BPlusTree* index_;
+  ScanPredicate predicate_;
+  SortScanOptions options_;
+
+  std::vector<Tuple> results_;
+  size_t next_result_ = 0;
+  uint64_t pages_fetched_ = 0;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_SORT_SCAN_H_

@@ -1,0 +1,100 @@
+#include "access/switch_scan.h"
+
+namespace smoothscan {
+
+SwitchScan::SwitchScan(const BPlusTree* index, ScanPredicate predicate,
+                       SwitchScanOptions options)
+    : index_(index), predicate_(std::move(predicate)), options_(options) {
+  SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
+}
+
+Status SwitchScan::Open() {
+  it_ = index_->Seek(predicate_.lo);
+  switched_ = false;
+  next_page_ = 0;
+  num_pages_ = static_cast<PageId>(index_->heap()->num_pages());
+  pending_.clear();
+  return Status::OK();
+}
+
+bool SwitchScan::NextFromIndex(Tuple* out) {
+  const HeapFile* heap = index_->heap();
+  Engine* engine = heap->engine();
+  while (it_->Valid() && it_->key() < predicate_.hi) {
+    const Tid tid = it_->tid();
+    Tuple tuple = heap->Read(tid);
+    ++stats_.heap_pages_probed;
+    ++stats_.tuples_inspected;
+    engine->cpu().ChargeInspect();
+    if (predicate_.residual && !predicate_.residual(tuple)) {
+      it_->Next();
+      continue;
+    }
+    // A qualifying tuple. If producing it would exceed the estimate, the
+    // estimate is wrong: switch *before producing the next result tuple*
+    // (Section VI-F). The tuple is not produced here — the full scan will
+    // re-discover it, since its TID was never recorded.
+    if (stats_.tuples_produced >= options_.estimated_cardinality) {
+      switched_ = true;
+      return false;
+    }
+    it_->Next();
+    produced_.Insert(tid);
+    engine->cpu().ChargeCacheOp();
+    engine->cpu().ChargeProduce();
+    ++stats_.tuples_produced;
+    *out = std::move(tuple);
+    return true;
+  }
+  return false;
+}
+
+bool SwitchScan::NextFromFullScan(Tuple* out) {
+  const HeapFile* heap = index_->heap();
+  Engine* engine = heap->engine();
+  const Schema& schema = heap->schema();
+  while (true) {
+    if (!pending_.empty()) {
+      *out = std::move(pending_.front());
+      pending_.pop_front();
+      ++stats_.tuples_produced;
+      return true;
+    }
+    if (next_page_ >= num_pages_) return false;
+    const uint32_t window =
+        std::min<uint32_t>(options_.read_ahead_pages, num_pages_ - next_page_);
+    engine->pool().FetchExtent(heap->file_id(), next_page_, window);
+    for (uint32_t i = 0; i < window; ++i) {
+      const PageId pid = next_page_ + i;
+      const Page& page = engine->storage().GetPage(heap->file_id(), pid);
+      ++stats_.heap_pages_probed;
+      for (uint16_t s = 0; s < page.num_slots(); ++s) {
+        uint32_t size = 0;
+        const uint8_t* data = page.GetTuple(s, &size);
+        ++stats_.tuples_inspected;
+        engine->cpu().ChargeInspect();
+        const int64_t key =
+            schema.DeserializeColumn(data, size, predicate_.column).AsInt64();
+        if (!predicate_.MatchesKey(key)) continue;
+        Tuple tuple = schema.Deserialize(data, size);
+        if (predicate_.residual && !predicate_.residual(tuple)) continue;
+        // Suppress tuples already produced by the index phase.
+        engine->cpu().ChargeCacheOp();
+        if (produced_.Contains(Tid{pid, s})) continue;
+        engine->cpu().ChargeProduce();
+        pending_.push_back(std::move(tuple));
+      }
+    }
+    next_page_ += window;
+  }
+}
+
+bool SwitchScan::Next(Tuple* out) {
+  if (!switched_) {
+    if (NextFromIndex(out)) return true;
+    if (!switched_) return false;  // Index phase finished without violation.
+  }
+  return NextFromFullScan(out);
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,58 @@
+// SwitchScan (Section III / VI-F): the straw-man run-time adaptivity. Runs a
+// plain index scan while the produced cardinality stays within the
+// optimizer's estimate; the moment the estimate is violated it abandons the
+// index and restarts as a full table scan, using a Tuple ID Cache to avoid
+// duplicating the tuples already produced. The binary switch bounds the worst
+// case but creates the performance cliff Fig. 11 shows.
+
+#ifndef SMOOTHSCAN_ACCESS_SWITCH_SCAN_H_
+#define SMOOTHSCAN_ACCESS_SWITCH_SCAN_H_
+
+#include <deque>
+#include <optional>
+
+#include "access/access_path.h"
+#include "access/tuple_id_cache.h"
+#include "index/bplus_tree.h"
+
+namespace smoothscan {
+
+struct SwitchScanOptions {
+  /// The optimizer's result-cardinality estimate; exceeding it triggers the
+  /// switch to a full scan.
+  uint64_t estimated_cardinality = 0;
+  /// Read-ahead of the post-switch full scan.
+  uint32_t read_ahead_pages = 32;
+};
+
+class SwitchScan : public AccessPath {
+ public:
+  SwitchScan(const BPlusTree* index, ScanPredicate predicate,
+             SwitchScanOptions options);
+
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  const char* name() const override { return "SwitchScan"; }
+
+  bool switched() const { return switched_; }
+
+ private:
+  bool NextFromIndex(Tuple* out);
+  bool NextFromFullScan(Tuple* out);
+
+  const BPlusTree* index_;
+  ScanPredicate predicate_;
+  SwitchScanOptions options_;
+
+  std::optional<BPlusTree::Iterator> it_;
+  TupleIdCache produced_;
+  bool switched_ = false;
+
+  PageId next_page_ = 0;
+  PageId num_pages_ = 0;
+  std::deque<Tuple> pending_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_SWITCH_SCAN_H_

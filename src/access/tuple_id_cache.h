@@ -1,0 +1,36 @@
+// Tuple ID Cache (Section IV-A): records the TIDs produced by the plain
+// index scan that ran *before* morphing was triggered (Optimizer- or
+// SLA-driven strategies) so that Smooth Scan never duplicates a result when
+// it later re-reads those pages. Also used by Switch Scan across its
+// index-to-full-scan seam.
+
+#ifndef SMOOTHSCAN_ACCESS_TUPLE_ID_CACHE_H_
+#define SMOOTHSCAN_ACCESS_TUPLE_ID_CACHE_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace smoothscan {
+
+/// Set of produced TIDs. The paper uses a bitmap-like structure; a hash set
+/// over packed 48-bit TIDs has the same observable behaviour and is sized by
+/// the (small) number of pre-trigger results rather than the table.
+class TupleIdCache {
+ public:
+  void Insert(Tid tid) { set_.insert(Pack(tid)); }
+  bool Contains(Tid tid) const { return set_.count(Pack(tid)) > 0; }
+  size_t size() const { return set_.size(); }
+
+ private:
+  static uint64_t Pack(Tid tid) {
+    return (static_cast<uint64_t>(tid.page_id) << 16) | tid.slot;
+  }
+
+  std::unordered_set<uint64_t> set_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_TUPLE_ID_CACHE_H_

@@ -1,0 +1,66 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace smoothscan {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  SMOOTHSCAN_CHECK(type_ == other.type_);
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      const int64_t a = std::get<int64_t>(rep_);
+      const int64_t b = std::get<int64_t>(other.rep_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      const double a = std::get<double>(rep_);
+      const double b = std::get<double>(other.rep_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString: {
+      const std::string& a = std::get<std::string>(rep_);
+      const std::string& b = std::get<std::string>(other.rep_);
+      const int cmp = a.compare(b);
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kDate: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "date(%lld)",
+                    static_cast<long long>(std::get<int64_t>(rep_)));
+      return buf;
+    }
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(rep_));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(rep_);
+  }
+  return "?";
+}
+
+}  // namespace smoothscan

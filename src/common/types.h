@@ -1,0 +1,106 @@
+// Fundamental value types shared across the smoothscan library: column types,
+// typed values, tuple identifiers and page-size constants.
+
+#ifndef SMOOTHSCAN_COMMON_TYPES_H_
+#define SMOOTHSCAN_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace smoothscan {
+
+/// Page identifier within a heap file or index file.
+using PageId = uint32_t;
+/// Slot number within a page.
+using SlotId = uint16_t;
+/// File identifier assigned by the StorageManager.
+using FileId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Default page size, matching PostgreSQL's 8 KB default used in the paper.
+inline constexpr uint32_t kDefaultPageSize = 8192;
+
+/// Tuple identifier: the physical address of a heap tuple. Secondary index
+/// leaves store (key, Tid) pairs pointing into the heap.
+struct Tid {
+  PageId page_id = kInvalidPageId;
+  SlotId slot = 0;
+
+  friend auto operator<=>(const Tid&, const Tid&) = default;
+};
+
+/// Column type tags. Dates are stored as days since 1970-01-01 in an Int64.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kDate = 3,
+};
+
+/// Returns "INT64", "DOUBLE", "STRING" or "DATE".
+const char* ValueTypeToString(ValueType type);
+
+/// True for types with a fixed-width serialized representation.
+inline bool IsFixedWidth(ValueType type) { return type != ValueType::kString; }
+
+/// Serialized width in bytes for fixed-width types.
+inline uint32_t FixedWidth(ValueType type) {
+  return IsFixedWidth(type) ? 8u : 0u;
+}
+
+/// A typed runtime value. Used at the executor boundary; the storage layer
+/// serializes values into page bytes (see storage/tuple.h).
+class Value {
+ public:
+  Value() : rep_(int64_t{0}), type_(ValueType::kInt64) {}
+
+  static Value Int64(int64_t v) { return Value(v, ValueType::kInt64); }
+  static Value Double(double v) { return Value(v, ValueType::kDouble); }
+  static Value String(std::string v) {
+    return Value(std::move(v), ValueType::kString);
+  }
+  /// `days` is days since the epoch.
+  static Value Date(int64_t days) { return Value(days, ValueType::kDate); }
+
+  ValueType type() const { return type_; }
+
+  int64_t AsInt64() const {
+    SMOOTHSCAN_CHECK(type_ == ValueType::kInt64 || type_ == ValueType::kDate);
+    return std::get<int64_t>(rep_);
+  }
+  double AsDouble() const {
+    SMOOTHSCAN_CHECK(type_ == ValueType::kDouble);
+    return std::get<double>(rep_);
+  }
+  const std::string& AsString() const {
+    SMOOTHSCAN_CHECK(type_ == ValueType::kString);
+    return std::get<std::string>(rep_);
+  }
+
+  /// Total order within a type; comparing values of different types aborts.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    return type_ == other.type_ && rep_ == other.rep_;
+  }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+
+ private:
+  Value(int64_t v, ValueType t) : rep_(v), type_(t) {}
+  Value(double v, ValueType t) : rep_(v), type_(t) {}
+  Value(std::string v, ValueType t) : rep_(std::move(v)), type_(t) {}
+
+  std::variant<int64_t, double, std::string> rep_;
+  ValueType type_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_COMMON_TYPES_H_

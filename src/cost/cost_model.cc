@@ -1,0 +1,155 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace smoothscan {
+
+CostModel::CostModel(CostModelParams params) : params_(params) {
+  SMOOTHSCAN_CHECK(params_.tuple_size > 0 && params_.page_size > 0);
+  SMOOTHSCAN_CHECK(params_.tuple_size <= params_.page_size);
+  // Eq. (3): #TP = floor(PS / TS).
+  tuples_per_page_ = params_.page_size / params_.tuple_size;
+  // Eq. (4): #P = ceil(#T / #TP).
+  num_pages_ = (params_.num_tuples + tuples_per_page_ - 1) / tuples_per_page_;
+  // Eq. (5): fanout = floor(PS / (1.2 * KS)).
+  fanout_ = static_cast<uint64_t>(params_.page_size /
+                                  (1.2 * static_cast<double>(params_.key_size)));
+  SMOOTHSCAN_CHECK(fanout_ >= 2);
+  // Eq. (6): #leaves = ceil(#T / fanout).
+  num_leaves_ = (params_.num_tuples + fanout_ - 1) / fanout_;
+  // Eq. (7): height = ceil(log_fanout(#leaves)) + 1.
+  if (num_leaves_ <= 1) {
+    height_ = 1;
+  } else {
+    height_ = static_cast<uint64_t>(
+                  std::ceil(std::log(static_cast<double>(num_leaves_)) /
+                            std::log(static_cast<double>(fanout_)))) +
+              1;
+  }
+}
+
+uint64_t CostModel::Cardinality(double selectivity) const {
+  SMOOTHSCAN_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  return static_cast<uint64_t>(selectivity *
+                               static_cast<double>(params_.num_tuples));
+}
+
+uint64_t CostModel::LeavesForResults(uint64_t card) const {
+  // Eq. (9): ceil(card / fanout).
+  return (card + fanout_ - 1) / fanout_;
+}
+
+double CostModel::FullScanCost() const {
+  // Eq. (10).
+  return static_cast<double>(num_pages_) * params_.seq_cost;
+}
+
+double CostModel::IndexScanCost(uint64_t card) const {
+  if (card == 0) return 0.0;
+  // Eq. (11): one descent, one random heap access per result, sequential
+  // traversal of the result-bearing leaves.
+  return (static_cast<double>(height_) + static_cast<double>(card)) *
+             params_.rand_cost +
+         static_cast<double>(LeavesForResults(card)) * params_.seq_cost;
+}
+
+double CostModel::Mode1Cost(uint64_t card_m1) const {
+  // Eq. (14): #Pm1 = min(cardm1, #P) — worst-case uniform spread puts every
+  // result on its own page. Eq. (15): every page fetched randomly.
+  const uint64_t pages_m1 = std::min(card_m1, num_pages_);
+  return static_cast<double>(pages_m1) * params_.rand_cost;
+}
+
+double CostModel::Mode2RandomAccesses(uint64_t pages_m2) const {
+  // Eqs. (20)–(21) converge to log2(#P + 1); the paper uses that value.
+  const double bound = std::log2(static_cast<double>(num_pages_) + 1.0);
+  return std::min(static_cast<double>(pages_m2), bound);
+}
+
+double CostModel::Mode2Cost(uint64_t card_m2, uint64_t pages_m1) const {
+  // Eq. (16): pages already processed in Mode 1 are skipped.
+  const uint64_t pages_m2 =
+      std::min(card_m2, num_pages_ - std::min(pages_m1, num_pages_));
+  if (pages_m2 == 0) return 0.0;
+  // Eq. (22).
+  const double jumps = Mode2RandomAccesses(pages_m2);
+  return jumps * params_.rand_cost +
+         (static_cast<double>(pages_m2) - jumps) * params_.seq_cost;
+}
+
+double CostModel::SmoothScanCost(const SmoothScanCardinalities& cards) const {
+  // Eq. (23): SScost = SScost_m0 + SScost_m1 + SScost_m2.
+  const uint64_t pages_m1 = std::min(cards.mode1, num_pages_);
+  return IndexScanCost(cards.mode0) + Mode1Cost(cards.mode1) +
+         Mode2Cost(cards.mode2, pages_m1);
+}
+
+double CostModel::EagerSmoothScanCost(double selectivity) const {
+  const uint64_t card = Cardinality(selectivity);
+  if (card == 0) {
+    // Just the tree descent.
+    return static_cast<double>(height_) * params_.rand_cost;
+  }
+  SmoothScanCardinalities cards;
+  cards.mode1 = std::min<uint64_t>(card, 1);
+  cards.mode2 = card - cards.mode1;
+  return static_cast<double>(height_) * params_.rand_cost +
+         SmoothScanCost(cards);
+}
+
+double CostModel::WorstCaseTriggeredCost(uint64_t card_m0) const {
+  // After card_m0 index-produced tuples, assume the worst: everything else
+  // qualifies, so Smooth Scan must morph across the whole table in Mode 2.
+  SmoothScanCardinalities cards;
+  cards.mode0 = card_m0;
+  cards.mode2 = params_.num_tuples > card_m0 ? params_.num_tuples - card_m0 : 0;
+  return SmoothScanCost(cards);
+}
+
+uint64_t CostModel::SlaTriggerCardinality(double sla_bound) const {
+  if (WorstCaseTriggeredCost(0) > sla_bound) return 0;
+  // WorstCaseTriggeredCost is monotonically increasing in card_m0 (each
+  // Mode-0 tuple adds a full random access while removing at most one
+  // sequential Mode-2 page): binary-search the largest card within bound.
+  uint64_t lo = 0;
+  uint64_t hi = params_.num_tuples;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (WorstCaseTriggeredCost(mid) <= sla_bound) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double CostModel::OptimalCost(double selectivity) const {
+  return std::min(FullScanCost(), IndexScanCost(Cardinality(selectivity)));
+}
+
+double CostModel::EagerCompetitiveRatio() const {
+  double worst = 1.0;
+  // Log-spaced selectivity grid covering the paper's 0.0001%–100% interval.
+  for (double sel = 1e-6; sel <= 1.0; sel *= 1.5) {
+    const double optimal = OptimalCost(std::min(sel, 1.0));
+    if (optimal <= 0.0) continue;
+    worst = std::max(worst, EagerSmoothScanCost(std::min(sel, 1.0)) / optimal);
+  }
+  return worst;
+}
+
+double CostModel::ElasticWorstCaseRatio() const {
+  // Every second page has a match: Smooth Scan pays one random access per
+  // result page over #P/2 pages; the full scan pays #P sequential accesses.
+  return (params_.rand_cost + params_.seq_cost) / (2.0 * params_.seq_cost);
+}
+
+double CostModel::TheoreticalBound() const {
+  return 1.0 + params_.rand_cost / params_.seq_cost;
+}
+
+}  // namespace smoothscan

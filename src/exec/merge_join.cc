@@ -1,0 +1,97 @@
+#include "exec/merge_join.h"
+
+namespace smoothscan {
+
+MergeJoinOp::MergeJoinOp(Engine* engine, std::unique_ptr<Operator> left,
+                         std::unique_ptr<Operator> right, int left_key_col,
+                         int right_key_col)
+    : engine_(engine),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_col_(left_key_col),
+      right_key_col_(right_key_col) {}
+
+Status MergeJoinOp::Open() {
+  SMOOTHSCAN_RETURN_IF_ERROR(left_->Open());
+  SMOOTHSCAN_RETURN_IF_ERROR(right_->Open());
+  right_group_.clear();
+  group_valid_ = false;
+  group_idx_ = 0;
+  left_valid_ = AdvanceLeft();
+  right_valid_ = AdvanceRight();
+  return Status::OK();
+}
+
+bool MergeJoinOp::AdvanceLeft() {
+  const bool had = left_valid_;
+  if (!left_->Next(&left_row_)) return false;
+  const int64_t key = left_row_[left_key_col_].AsInt64();
+  if (had) SMOOTHSCAN_CHECK(key >= left_last_key_);  // Ordered input.
+  left_last_key_ = key;
+  return true;
+}
+
+bool MergeJoinOp::AdvanceRight() {
+  const bool had = right_valid_;
+  if (!right_->Next(&right_row_)) return false;
+  const int64_t key = right_row_[right_key_col_].AsInt64();
+  if (had) SMOOTHSCAN_CHECK(key >= right_last_key_);
+  right_last_key_ = key;
+  return true;
+}
+
+void MergeJoinOp::CollectRightGroup(int64_t key) {
+  right_group_.clear();
+  group_key_ = key;
+  group_valid_ = true;
+  while (right_valid_ && right_row_[right_key_col_].AsInt64() == key) {
+    engine_->cpu().ChargeHashOp();
+    right_group_.push_back(std::move(right_row_));
+    right_valid_ = AdvanceRight();
+  }
+}
+
+bool MergeJoinOp::Next(Tuple* out) {
+  while (true) {
+    // Emit pending (left_row_, right_group_) pairs.
+    if (group_valid_ && left_valid_ &&
+        left_row_[left_key_col_].AsInt64() == group_key_ &&
+        group_idx_ < right_group_.size()) {
+      *out = left_row_;
+      const Tuple& r = right_group_[group_idx_++];
+      out->insert(out->end(), r.begin(), r.end());
+      engine_->cpu().ChargeProduce();
+      return true;
+    }
+    if (group_valid_ && left_valid_ &&
+        left_row_[left_key_col_].AsInt64() == group_key_) {
+      // Exhausted the group for this left row; next left row may reuse it.
+      left_valid_ = AdvanceLeft();
+      group_idx_ = 0;
+      continue;
+    }
+    if (!left_valid_) return false;
+    if (!right_valid_ && !group_valid_) return false;
+
+    const int64_t lkey = left_row_[left_key_col_].AsInt64();
+    if (group_valid_ && lkey == group_key_) continue;  // Handled above.
+    if (!right_valid_) {
+      // No more right rows and the current group doesn't match: done unless
+      // a later left row matches the group (impossible — keys ascend).
+      if (group_valid_ && lkey > group_key_) return false;
+      return false;
+    }
+    const int64_t rkey = right_row_[right_key_col_].AsInt64();
+    engine_->cpu().ChargeHashOp();
+    if (lkey < rkey) {
+      left_valid_ = AdvanceLeft();
+    } else if (lkey > rkey) {
+      right_valid_ = AdvanceRight();
+    } else {
+      CollectRightGroup(rkey);
+      group_idx_ = 0;
+    }
+  }
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,32 @@
+// Volcano-style relational operators layered above access paths. The paper's
+// TPC-H experiments (Fig. 4, Table II) need selections, joins (hash and
+// index-nested-loops), aggregation, sorting and projection; these operators
+// provide exactly that, with all CPU work charged to the engine's meter.
+
+#ifndef SMOOTHSCAN_EXEC_OPERATOR_H_
+#define SMOOTHSCAN_EXEC_OPERATOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace smoothscan {
+
+/// Abstract pipelined operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  virtual bool Next(Tuple* out) = 0;
+  virtual void Close() {}
+  virtual const char* name() const = 0;
+};
+
+/// Runs `op` to completion, appending produced tuples to `out` (which may be
+/// null to discard them). Returns the number of tuples produced.
+uint64_t Drain(Operator* op, std::vector<Tuple>* out);
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_EXEC_OPERATOR_H_

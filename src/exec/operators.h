@@ -1,0 +1,220 @@
+// Concrete operators: access-path adapter, filter, project, sort, limit,
+// hash join, index-nested-loops join and hash aggregation.
+
+#ifndef SMOOTHSCAN_EXEC_OPERATORS_H_
+#define SMOOTHSCAN_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "access/access_path.h"
+#include "exec/operator.h"
+#include "index/bplus_tree.h"
+
+namespace smoothscan {
+
+/// Adapts an AccessPath (table leaf) into the operator tree.
+class ScanOp : public Operator {
+ public:
+  explicit ScanOp(std::unique_ptr<AccessPath> path) : path_(std::move(path)) {}
+  Status Open() override { return path_->Open(); }
+  bool Next(Tuple* out) override { return path_->Next(out); }
+  void Close() override { path_->Close(); }
+  const char* name() const override { return path_->name(); }
+  const AccessPath* path() const { return path_.get(); }
+
+ private:
+  std::unique_ptr<AccessPath> path_;
+};
+
+/// Filters tuples by an arbitrary predicate.
+class FilterOp : public Operator {
+ public:
+  FilterOp(Engine* engine, std::unique_ptr<Operator> child,
+           std::function<bool(const Tuple&)> predicate)
+      : engine_(engine),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  bool Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "Filter"; }
+
+ private:
+  Engine* engine_;
+  std::unique_ptr<Operator> child_;
+  std::function<bool(const Tuple&)> predicate_;
+};
+
+/// Keeps the listed columns, in the listed order.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<int> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+
+  Status Open() override { return child_->Open(); }
+  bool Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "Project"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> columns_;
+};
+
+/// Blocking sort by a caller-supplied comparator; charges n log n CPU.
+class SortOp : public Operator {
+ public:
+  SortOp(Engine* engine, std::unique_ptr<Operator> child,
+         std::function<bool(const Tuple&, const Tuple&)> less)
+      : engine_(engine), child_(std::move(child)), less_(std::move(less)) {}
+
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "Sort"; }
+
+ private:
+  Engine* engine_;
+  std::unique_ptr<Operator> child_;
+  std::function<bool(const Tuple&, const Tuple&)> less_;
+  std::vector<Tuple> rows_;
+  size_t next_ = 0;
+};
+
+/// Emits at most `limit` tuples.
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  bool Next(Tuple* out) override {
+    if (emitted_ >= limit_) return false;
+    if (!child_->Next(out)) return false;
+    ++emitted_;
+    return true;
+  }
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "Limit"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+/// In-memory hash join: builds on the right child, probes with the left.
+/// Output = left columns ++ right columns.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(Engine* engine, std::unique_ptr<Operator> left,
+             std::unique_ptr<Operator> right, int left_key_col,
+             int right_key_col)
+      : engine_(engine),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_col_(left_key_col),
+        right_key_col_(right_key_col) {}
+
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+  const char* name() const override { return "HashJoin"; }
+
+ private:
+  Engine* engine_;
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  int left_key_col_;
+  int right_key_col_;
+
+  std::unordered_map<int64_t, std::vector<Tuple>> table_;
+  Tuple probe_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_idx_ = 0;
+};
+
+/// Index nested-loops join: for each outer tuple, looks the join key up in
+/// the inner table's index and fetches matches from the inner heap (random
+/// I/O per look-up — the "table look-up" pattern of the paper's Fig. 1
+/// discussion). Output = outer columns ++ inner columns.
+class IndexNestedLoopJoinOp : public Operator {
+ public:
+  IndexNestedLoopJoinOp(std::unique_ptr<Operator> outer,
+                        const BPlusTree* inner_index, int outer_key_col)
+      : outer_(std::move(outer)),
+        inner_index_(inner_index),
+        outer_key_col_(outer_key_col) {}
+
+  Status Open() override {
+    pending_.clear();
+    return outer_->Open();
+  }
+  bool Next(Tuple* out) override;
+  void Close() override { outer_->Close(); }
+  const char* name() const override { return "IndexNLJoin"; }
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  const BPlusTree* inner_index_;
+  int outer_key_col_;
+  std::vector<Tuple> pending_;
+  size_t pending_idx_ = 0;
+};
+
+/// Aggregate function kinds.
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate: fn over a numeric expression of the input tuple.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  /// Value extractor; ignored for kCount (may be null).
+  std::function<double(const Tuple&)> expr;
+};
+
+/// Blocking hash aggregation. Output tuple = group-by columns (as stored) ++
+/// one DOUBLE per aggregate. With no group-by columns produces exactly one
+/// row (global aggregate).
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(Engine* engine, std::unique_ptr<Operator> child,
+                  std::vector<int> group_by, std::vector<AggSpec> aggs)
+      : engine_(engine),
+        child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  Status Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "HashAggregate"; }
+
+ private:
+  struct GroupState {
+    Tuple key_values;
+    std::vector<double> acc;
+    std::vector<uint64_t> counts;
+  };
+
+  Engine* engine_;
+  std::unique_ptr<Operator> child_;
+  std::vector<int> group_by_;
+  std::vector<AggSpec> aggs_;
+  std::vector<GroupState> groups_;
+  size_t next_ = 0;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_EXEC_OPERATORS_H_

@@ -1,0 +1,95 @@
+#include "plan/access_path_chooser.h"
+
+#include <cmath>
+
+namespace smoothscan {
+
+const char* PathKindToString(PathKind kind) {
+  switch (kind) {
+    case PathKind::kFullScan:
+      return "FullScan";
+    case PathKind::kIndexScan:
+      return "IndexScan";
+    case PathKind::kSortScan:
+      return "SortScan";
+    case PathKind::kSwitchScan:
+      return "SwitchScan";
+    case PathKind::kSmoothScan:
+      return "SmoothScan";
+  }
+  return "?";
+}
+
+PlanChoice AccessPathChooser::Choose(const TableStats& stats,
+                                     const CostModel& model, int64_t lo,
+                                     int64_t hi, bool need_order) {
+  PlanChoice choice;
+  choice.estimated_selectivity = stats.EstimateSelectivity(lo, hi);
+  choice.estimated_cardinality = stats.EstimateCardinality(lo, hi);
+  const uint64_t card = choice.estimated_cardinality;
+
+  // Posterior-sort surcharge for order-destroying paths, in the same units
+  // as page I/O (rough CPU-equivalent of n log2 n comparisons).
+  const double sort_penalty =
+      !need_order || card < 2
+          ? 0.0
+          : 2e-4 * static_cast<double>(card) *
+                std::log2(static_cast<double>(card));
+
+  const double full = model.FullScanCost() + sort_penalty;
+  const double index = model.IndexScanCost(card);
+  // Sort Scan: leaf traversal + one nearly-sequential pass over the result
+  // pages + the TID sort (and the posterior key sort when order is needed).
+  const uint64_t result_pages =
+      std::min<uint64_t>(card, model.NumPages());
+  const double tid_sort =
+      card < 2 ? 0.0
+               : 2e-4 * static_cast<double>(card) *
+                     std::log2(static_cast<double>(card));
+  const double sort_scan =
+      static_cast<double>(model.LeavesForResults(card)) *
+          model.params().seq_cost +
+      static_cast<double>(result_pages) * model.params().seq_cost + tid_sort +
+      sort_penalty;
+
+  choice.kind = PathKind::kFullScan;
+  choice.estimated_cost = full;
+  if (index < choice.estimated_cost) {
+    choice.kind = PathKind::kIndexScan;
+    choice.estimated_cost = index;
+  }
+  if (sort_scan < choice.estimated_cost) {
+    choice.kind = PathKind::kSortScan;
+    choice.estimated_cost = sort_scan;
+  }
+  return choice;
+}
+
+std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
+                                     const ScanPredicate& predicate,
+                                     bool need_order, uint64_t estimate) {
+  switch (kind) {
+    case PathKind::kFullScan:
+      return std::make_unique<FullScan>(index->heap(), predicate);
+    case PathKind::kIndexScan:
+      return std::make_unique<IndexScan>(index, predicate);
+    case PathKind::kSortScan: {
+      SortScanOptions options;
+      options.preserve_order = need_order;
+      return std::make_unique<SortScan>(index, predicate, options);
+    }
+    case PathKind::kSwitchScan: {
+      SwitchScanOptions options;
+      options.estimated_cardinality = estimate;
+      return std::make_unique<SwitchScan>(index, predicate, options);
+    }
+    case PathKind::kSmoothScan: {
+      SmoothScanOptions options;
+      options.preserve_order = need_order;
+      return std::make_unique<SmoothScan>(index, predicate, options);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace smoothscan

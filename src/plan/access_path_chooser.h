@@ -1,0 +1,59 @@
+// AccessPathChooser: a textbook cost-based access-path optimizer — the
+// component whose statistics-sensitivity Smooth Scan removes. Given (possibly
+// corrupted) TableStats it estimates the predicate selectivity, prices Full
+// Scan / Index Scan / Sort Scan with the Section-V cost model and picks the
+// cheapest. MakePath materializes the chosen operator.
+
+#ifndef SMOOTHSCAN_PLAN_ACCESS_PATH_CHOOSER_H_
+#define SMOOTHSCAN_PLAN_ACCESS_PATH_CHOOSER_H_
+
+#include <memory>
+
+#include "access/full_scan.h"
+#include "access/index_scan.h"
+#include "access/smooth_scan.h"
+#include "access/sort_scan.h"
+#include "access/switch_scan.h"
+#include "cost/cost_model.h"
+#include "plan/table_stats.h"
+
+namespace smoothscan {
+
+enum class PathKind {
+  kFullScan,
+  kIndexScan,
+  kSortScan,
+  kSwitchScan,
+  kSmoothScan,
+};
+
+const char* PathKindToString(PathKind kind);
+
+/// The optimizer's verdict for one selection.
+struct PlanChoice {
+  PathKind kind = PathKind::kFullScan;
+  double estimated_selectivity = 0.0;
+  uint64_t estimated_cardinality = 0;
+  double estimated_cost = 0.0;
+};
+
+class AccessPathChooser {
+ public:
+  /// `need_order`: the consumer requires index-key order. A full scan (and,
+  /// in the blocking sense, a sort scan) then pays a posterior sort, priced
+  /// here as a CPU surcharge proportional to n log n.
+  static PlanChoice Choose(const TableStats& stats, const CostModel& model,
+                           int64_t lo, int64_t hi, bool need_order);
+};
+
+/// Materializes an access path of `kind` over `index` (its heap) with
+/// `predicate`. `estimate` parameterizes Switch Scan's threshold and Smooth
+/// Scan's optimizer-driven trigger; Smooth Scan defaults to the paper's
+/// preferred Eager + Elastic configuration.
+std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
+                                     const ScanPredicate& predicate,
+                                     bool need_order, uint64_t estimate);
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_PLAN_ACCESS_PATH_CHOOSER_H_

@@ -1,0 +1,70 @@
+#include "plan/table_stats.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+TableStats TableStats::Compute(const HeapFile& heap, int column,
+                               size_t buckets) {
+  SMOOTHSCAN_CHECK(buckets > 0);
+  TableStats stats;
+  stats.num_pages_ = heap.num_pages();
+
+  // Pass 1: domain bounds.
+  bool first = true;
+  heap.ForEachDirect([&](Tid, const Tuple& t) {
+    const int64_t key = t[column].AsInt64();
+    if (first) {
+      stats.min_key_ = stats.max_key_ = key;
+      first = false;
+    } else {
+      stats.min_key_ = std::min(stats.min_key_, key);
+      stats.max_key_ = std::max(stats.max_key_, key);
+    }
+    ++stats.num_tuples_;
+  });
+  if (stats.num_tuples_ == 0) {
+    stats.histogram_.assign(buckets, 0);
+    return stats;
+  }
+
+  // Pass 2: equi-width bucket counts.
+  stats.histogram_.assign(buckets, 0);
+  const double width =
+      static_cast<double>(stats.max_key_ - stats.min_key_ + 1) /
+      static_cast<double>(buckets);
+  heap.ForEachDirect([&](Tid, const Tuple& t) {
+    const int64_t key = t[column].AsInt64();
+    size_t b = static_cast<size_t>(
+        static_cast<double>(key - stats.min_key_) / width);
+    b = std::min(b, buckets - 1);
+    ++stats.histogram_[b];
+  });
+  return stats;
+}
+
+double TableStats::EstimateSelectivity(int64_t lo, int64_t hi) const {
+  if (num_tuples_ == 0 || hi <= lo) return 0.0;
+  const size_t buckets = histogram_.size();
+  const double width = static_cast<double>(max_key_ - min_key_ + 1) /
+                       static_cast<double>(buckets);
+  double matched = 0.0;
+  for (size_t b = 0; b < buckets; ++b) {
+    const double b_lo = static_cast<double>(min_key_) + width * b;
+    const double b_hi = b_lo + width;
+    const double o_lo = std::max(b_lo, static_cast<double>(lo));
+    const double o_hi = std::min(b_hi, static_cast<double>(hi));
+    if (o_hi <= o_lo) continue;
+    matched += static_cast<double>(histogram_[b]) * (o_hi - o_lo) / width;
+  }
+  const double sel =
+      corruption_ * matched / static_cast<double>(num_tuples_);
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+uint64_t TableStats::EstimateCardinality(int64_t lo, int64_t hi) const {
+  return static_cast<uint64_t>(EstimateSelectivity(lo, hi) *
+                               static_cast<double>(num_tuples_));
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,51 @@
+// TableStats: the optimizer statistics whose staleness the paper blames for
+// suboptimal access-path choices. An equi-width histogram over the indexed
+// column provides selectivity estimates; Corrupt* methods produce the stale /
+// wrong statistics scenarios of Fig. 1 and the trigger experiments.
+
+#ifndef SMOOTHSCAN_PLAN_TABLE_STATS_H_
+#define SMOOTHSCAN_PLAN_TABLE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/heap_file.h"
+
+namespace smoothscan {
+
+class TableStats {
+ public:
+  TableStats() = default;
+
+  /// Scans the heap (build time, free of charge) and builds an equi-width
+  /// histogram with `buckets` buckets over INT64/DATE column `column`.
+  static TableStats Compute(const HeapFile& heap, int column,
+                            size_t buckets = 64);
+
+  /// Estimated selectivity of the half-open range [lo, hi).
+  double EstimateSelectivity(int64_t lo, int64_t hi) const;
+
+  /// Estimated result cardinality for [lo, hi).
+  uint64_t EstimateCardinality(int64_t lo, int64_t hi) const;
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Simulates stale statistics by scaling every estimate by `factor`
+  /// (e.g. 0.01 = the optimizer believes 100x fewer tuples qualify —
+  /// the underestimation that makes it pick an index scan).
+  void CorruptScale(double factor) { corruption_ = factor; }
+  double corruption() const { return corruption_; }
+
+ private:
+  uint64_t num_tuples_ = 0;
+  uint64_t num_pages_ = 0;
+  int64_t min_key_ = 0;
+  int64_t max_key_ = 0;
+  std::vector<uint64_t> histogram_;
+  double corruption_ = 1.0;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_PLAN_TABLE_STATS_H_

@@ -1,0 +1,80 @@
+#include "storage/buffer_pool.h"
+
+namespace smoothscan {
+
+BufferPool::BufferPool(StorageManager* storage, SimDisk* disk,
+                       size_t capacity_pages)
+    : storage_(storage), disk_(disk), capacity_(capacity_pages) {
+  SMOOTHSCAN_CHECK(capacity_pages > 0);
+}
+
+bool BufferPool::Contains(FileId file, PageId page) const {
+  return map_.count(Key(file, page)) > 0;
+}
+
+void BufferPool::Touch(uint64_t key) {
+  auto it = map_.find(key);
+  SMOOTHSCAN_CHECK(it != map_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void BufferPool::Insert(uint64_t key) {
+  if (map_.size() >= capacity_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+}
+
+const Page& BufferPool::Fetch(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    Touch(key);
+  } else {
+    ++stats_.misses;
+    disk_->ReadPage(file, page);
+    Insert(key);
+  }
+  return storage_->GetPage(file, page);
+}
+
+void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
+  if (num_pages == 0) return;
+  // Trim resident pages at both ends; the physical read must still cover any
+  // resident pages in the middle of the extent.
+  PageId lo = first;
+  PageId hi = first + num_pages - 1;
+  while (lo <= hi && Contains(file, lo)) {
+    ++stats_.hits;
+    Touch(Key(file, lo));
+    ++lo;
+  }
+  while (hi >= lo && Contains(file, hi)) {
+    ++stats_.hits;
+    Touch(Key(file, hi));
+    if (hi == 0) break;
+    --hi;
+  }
+  if (lo > hi) return;  // Fully resident.
+  disk_->ReadExtent(file, lo, hi - lo + 1);
+  for (PageId p = lo; p <= hi; ++p) {
+    const uint64_t key = Key(file, p);
+    if (map_.count(key)) {
+      Touch(key);
+    } else {
+      ++stats_.misses;
+      Insert(key);
+    }
+  }
+}
+
+void BufferPool::FlushAll() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace smoothscan

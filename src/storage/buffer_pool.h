@@ -1,0 +1,78 @@
+// BufferPool: page-granularity LRU cache sitting between operators and the
+// simulated disk. A hit costs nothing; a miss charges SimDisk. Benchmarks run
+// "cold" by calling FlushAll() before each query, mirroring the paper's
+// clearing of database and OS caches before every execution.
+
+#ifndef SMOOTHSCAN_STORAGE_BUFFER_POOL_H_
+#define SMOOTHSCAN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "storage/page.h"
+#include "storage/sim_disk.h"
+#include "storage/storage_manager.h"
+
+namespace smoothscan {
+
+/// Buffer-pool hit/miss counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// LRU buffer pool. Single-threaded; pages are read-only at query time so
+/// there is no dirty-page write-back path.
+class BufferPool {
+ public:
+  /// `capacity_pages` bounds the number of resident pages.
+  BufferPool(StorageManager* storage, SimDisk* disk, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns `page` of `file`, charging the disk on a miss.
+  const Page& Fetch(FileId file, PageId page);
+
+  /// Prefetches the extent [first, first + num_pages) with a single I/O
+  /// request (Smooth Scan Mode 2 flattening / scan read-ahead). Pages already
+  /// resident at the head or tail of the extent shrink the transfer; the
+  /// charged request spans the first through last non-resident page, since a
+  /// physical extent read cannot skip holes in the middle.
+  void FetchExtent(FileId file, PageId first, uint32_t num_pages);
+
+  /// Evicts everything: the next access to any page is a cold miss.
+  void FlushAll();
+
+  /// True when the page is resident (no I/O charged; no LRU update).
+  bool Contains(FileId file, PageId page) const;
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  // 64-bit key packing (file, page).
+  static uint64_t Key(FileId file, PageId page) {
+    return (static_cast<uint64_t>(file) << 32) | page;
+  }
+
+  /// Inserts `key` as most-recently-used, evicting the LRU page if full.
+  void Insert(uint64_t key);
+  void Touch(uint64_t key);
+
+  StorageManager* storage_;
+  SimDisk* disk_;
+  size_t capacity_;
+  BufferPoolStats stats_;
+
+  // LRU list: front = most recently used. Map values point into the list.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,58 @@
+// HeapFile: an unordered collection of tuples stored in slotted pages, the
+// physical representation of a table. Appending is a build-time operation;
+// query-time reads go through the buffer pool and are I/O-accounted.
+
+#ifndef SMOOTHSCAN_STORAGE_HEAP_FILE_H_
+#define SMOOTHSCAN_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/engine.h"
+#include "storage/schema.h"
+
+namespace smoothscan {
+
+/// A heap-organized table file. Owns no storage itself; pages live in the
+/// engine's StorageManager under `file_id()`.
+class HeapFile {
+ public:
+  /// Creates an empty heap file named `name` inside `engine`.
+  HeapFile(Engine* engine, std::string name, Schema schema);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends `tuple`, returning its TID. Build-time: not I/O-accounted.
+  Result<Tid> Append(const Tuple& tuple);
+
+  /// Reads the tuple at `tid` through the buffer pool (I/O-accounted).
+  Tuple Read(Tid tid) const;
+
+  /// Build-time full iteration without I/O accounting (loaders, oracles and
+  /// test baselines). `fn` receives (tid, tuple).
+  void ForEachDirect(
+      const std::function<void(Tid, const Tuple&)>& fn) const;
+
+  FileId file_id() const { return file_id_; }
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  size_t num_pages() const { return engine_->storage().NumPages(file_id_); }
+  uint64_t num_tuples() const { return num_tuples_; }
+  Engine* engine() const { return engine_; }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  Schema schema_;
+  FileId file_id_;
+  PageId tail_page_ = kInvalidPageId;
+  uint64_t num_tuples_ = 0;
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_STORAGE_HEAP_FILE_H_

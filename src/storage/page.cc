@@ -1,0 +1,43 @@
+#include "storage/page.h"
+
+namespace smoothscan {
+
+Page::Page(uint32_t page_size) : bytes_(page_size, 0) {
+  SMOOTHSCAN_CHECK(page_size >= kHeaderSize + kSlotSize);
+  WriteU16(0, 0);             // num_slots
+  WriteU32(2, kHeaderSize);   // data_end
+}
+
+uint16_t Page::num_slots() const { return ReadU16(0); }
+
+uint32_t Page::free_space() const {
+  const uint32_t slots_begin = page_size() - kSlotSize * num_slots();
+  return slots_begin - data_end();
+}
+
+bool Page::Fits(uint32_t size) const {
+  return free_space() >= size + kSlotSize;
+}
+
+Result<SlotId> Page::Insert(const uint8_t* data, uint32_t size) {
+  if (!Fits(size)) {
+    return Status::ResourceExhausted("tuple does not fit in page");
+  }
+  const uint16_t slot = num_slots();
+  const uint32_t off = data_end();
+  std::memcpy(bytes_.data() + off, data, size);
+  WriteU16(SlotOffset(slot), static_cast<uint16_t>(off));
+  WriteU16(SlotOffset(slot) + 2, static_cast<uint16_t>(size));
+  WriteU16(0, static_cast<uint16_t>(slot + 1));
+  WriteU32(2, off + size);
+  return static_cast<SlotId>(slot);
+}
+
+const uint8_t* Page::GetTuple(SlotId slot, uint32_t* size) const {
+  SMOOTHSCAN_CHECK(slot < num_slots());
+  const uint32_t off = ReadU16(SlotOffset(slot));
+  *size = ReadU16(SlotOffset(slot) + 2);
+  return bytes_.data() + off;
+}
+
+}  // namespace smoothscan

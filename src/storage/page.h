@@ -1,0 +1,78 @@
+// Slotted heap page, the unit of I/O throughout the system. Layout mirrors
+// the classic textbook design (and PostgreSQL's): a small header, tuple data
+// growing downward from the header, and a slot directory growing upward from
+// the end of the page.
+//
+//   [ header | tuple0 tuple1 ... -> free space <- ... slot1 slot0 ]
+
+#ifndef SMOOTHSCAN_STORAGE_PAGE_H_
+#define SMOOTHSCAN_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace smoothscan {
+
+/// A fixed-size slotted page. Tuples are immutable once inserted (the paper's
+/// workloads are read-only after load), so there is no delete/compact path.
+class Page {
+ public:
+  explicit Page(uint32_t page_size = kDefaultPageSize);
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+
+  /// Inserts a serialized tuple. Returns the slot on success or
+  /// kResourceExhausted when the tuple does not fit.
+  Result<SlotId> Insert(const uint8_t* data, uint32_t size);
+
+  /// True when a tuple of `size` bytes fits (data + one slot entry).
+  bool Fits(uint32_t size) const;
+
+  uint16_t num_slots() const;
+
+  /// Pointer to the serialized bytes of `slot`. `size` receives the length.
+  const uint8_t* GetTuple(SlotId slot, uint32_t* size) const;
+
+  uint32_t page_size() const { return static_cast<uint32_t>(bytes_.size()); }
+  uint32_t free_space() const;
+
+ private:
+  // Header layout: [u16 num_slots][u32 data_end].
+  static constexpr uint32_t kHeaderSize = 6;
+  static constexpr uint32_t kSlotSize = 4;  // [u16 offset][u16 length]
+
+  uint16_t ReadU16(uint32_t off) const {
+    uint16_t v;
+    std::memcpy(&v, bytes_.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU16(uint32_t off, uint16_t v) {
+    std::memcpy(bytes_.data() + off, &v, sizeof(v));
+  }
+  uint32_t ReadU32(uint32_t off) const {
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU32(uint32_t off, uint32_t v) {
+    std::memcpy(bytes_.data() + off, &v, sizeof(v));
+  }
+
+  uint32_t data_end() const { return ReadU32(2); }
+  uint32_t SlotOffset(SlotId slot) const {
+    return page_size() - kSlotSize * (static_cast<uint32_t>(slot) + 1);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_STORAGE_PAGE_H_

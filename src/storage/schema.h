@@ -1,0 +1,67 @@
+// Schema: ordered list of typed columns plus tuple (de)serialization between
+// the executor representation (vector<Value>) and page bytes.
+
+#ifndef SMOOTHSCAN_STORAGE_SCHEMA_H_
+#define SMOOTHSCAN_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace smoothscan {
+
+/// A tuple in executor representation: one Value per column.
+using Tuple = std::vector<Value>;
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// Ordered, immutable column list. Serialization format: fixed-width columns
+/// are 8-byte little-endian; strings are a 4-byte length followed by bytes,
+/// laid out in column order.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Appends the serialized form of `tuple` to `out`. Aborts on schema
+  /// mismatch (a programming error).
+  void Serialize(const Tuple& tuple, std::vector<uint8_t>* out) const;
+
+  /// Parses one tuple from `data` of `size` bytes.
+  Tuple Deserialize(const uint8_t* data, uint32_t size) const;
+
+  /// Deserializes only column `col` — the common case for predicate
+  /// evaluation, avoiding materializing the full tuple.
+  Value DeserializeColumn(const uint8_t* data, uint32_t size, size_t col) const;
+
+  /// Serialized size in bytes of `tuple` under this schema.
+  uint32_t SerializedSize(const Tuple& tuple) const;
+
+  /// True when every column is fixed width (all tuples have the same size).
+  bool IsFixedWidth() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Convenience constructor for the ubiquitous all-INT64 schemas of the
+/// micro-benchmark: columns are named c1..cN.
+Schema MakeIntSchema(size_t num_columns);
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_STORAGE_SCHEMA_H_

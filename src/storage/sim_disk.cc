@@ -1,0 +1,61 @@
+#include "storage/sim_disk.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+void SimDisk::Access(FileId file, PageId first, uint32_t num_pages,
+                     bool is_write) {
+  stats_.io_requests += 1;
+  if (is_write) {
+    stats_.pages_written += num_pages;
+  } else {
+    stats_.pages_read += num_pages;
+    stats_.bytes_read += static_cast<uint64_t>(num_pages) * page_size_;
+  }
+
+  // Positioning cost for the first page of the request.
+  double start_cost = profile_.rand_cost;
+  bool start_sequential = false;
+  auto it = last_page_.find(file);
+  if (it != last_page_.end() && first > it->second) {
+    // Forward movement: adjacent page (distance 1) is a pure sequential
+    // access; a short skip costs the transfer time of the passed-over pages,
+    // capped by a full seek.
+    const double skip_cost =
+        static_cast<double>(first - it->second) * profile_.seq_cost;
+    if (skip_cost < profile_.rand_cost) {
+      start_cost = skip_cost;
+      start_sequential = true;
+    }
+  }
+  if (start_sequential) {
+    stats_.seq_ios += 1;
+  } else {
+    stats_.random_ios += 1;
+  }
+  stats_.io_time += start_cost;
+
+  // Remaining pages of the request transfer sequentially.
+  if (num_pages > 1) {
+    stats_.seq_ios += num_pages - 1;
+    stats_.io_time += profile_.seq_cost * (num_pages - 1);
+  }
+  last_page_[file] = first + num_pages - 1;
+}
+
+void SimDisk::ReadPage(FileId file, PageId page) {
+  Access(file, page, 1, /*is_write=*/false);
+}
+
+void SimDisk::ReadExtent(FileId file, PageId first, uint32_t num_pages) {
+  if (num_pages == 0) return;
+  Access(file, first, num_pages, /*is_write=*/false);
+}
+
+void SimDisk::WriteExtent(FileId file, PageId first, uint32_t num_pages) {
+  if (num_pages == 0) return;
+  Access(file, first, num_pages, /*is_write=*/true);
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,36 @@
+#include "storage/storage_manager.h"
+
+namespace smoothscan {
+
+FileId StorageManager::CreateFile(std::string name) {
+  files_.push_back(File{std::move(name), {}});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+PageId StorageManager::AppendPage(FileId file) {
+  SMOOTHSCAN_CHECK(file < files_.size());
+  files_[file].pages.push_back(std::make_unique<Page>(page_size_));
+  return static_cast<PageId>(files_[file].pages.size() - 1);
+}
+
+Page* StorageManager::GetPageForWrite(FileId file, PageId page) {
+  SMOOTHSCAN_CHECK(file < files_.size());
+  SMOOTHSCAN_CHECK(page < files_[file].pages.size());
+  return files_[file].pages[page].get();
+}
+
+const Page& StorageManager::GetPage(FileId file, PageId page) const {
+  const File& f = GetFile(file);
+  SMOOTHSCAN_CHECK(page < f.pages.size());
+  return *f.pages[page];
+}
+
+size_t StorageManager::NumPages(FileId file) const {
+  return GetFile(file).pages.size();
+}
+
+const std::string& StorageManager::FileName(FileId file) const {
+  return GetFile(file).name;
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,66 @@
+// StorageManager: owns the raw pages of every file in the simulated database.
+//
+// Pages live in memory; the *cost* of reaching them is modelled by SimDisk
+// (see sim_disk.h) and cached by BufferPool (see buffer_pool.h). Build-time
+// code (loaders, index construction) accesses pages directly and free of
+// charge, mirroring the paper's setup where data is loaded before the timed,
+// cold-cache query runs.
+
+#ifndef SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_
+#define SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace smoothscan {
+
+/// Owns all files (ordered page sequences) of the simulated database.
+class StorageManager {
+ public:
+  explicit StorageManager(uint32_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Creates a new empty file and returns its id.
+  FileId CreateFile(std::string name);
+
+  /// Appends a fresh page to `file` and returns its id.
+  PageId AppendPage(FileId file);
+
+  /// Mutable access for build-time loading (no I/O accounting).
+  Page* GetPageForWrite(FileId file, PageId page);
+
+  /// Read access for build-time code and for the buffer pool (which performs
+  /// the I/O accounting itself before calling this).
+  const Page& GetPage(FileId file, PageId page) const;
+
+  size_t NumPages(FileId file) const;
+  size_t NumFiles() const { return files_.size(); }
+  const std::string& FileName(FileId file) const;
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<std::unique_ptr<Page>> pages;
+  };
+
+  const File& GetFile(FileId file) const {
+    SMOOTHSCAN_CHECK(file < files_.size());
+    return files_[file];
+  }
+
+  uint32_t page_size_;
+  std::vector<File> files_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_

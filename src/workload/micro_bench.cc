@@ -1,0 +1,69 @@
+#include "workload/micro_bench.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace smoothscan {
+
+MicroBenchDb::MicroBenchDb(Engine* engine, const MicroBenchSpec& spec)
+    : value_max_(spec.value_max) {
+  SMOOTHSCAN_CHECK(spec.num_columns >= 2);
+  heap_ = std::make_unique<HeapFile>(engine, "micro",
+                                     MakeIntSchema(spec.num_columns));
+  Rng rng(spec.seed);
+  Tuple tuple(spec.num_columns);
+  for (uint64_t i = 0; i < spec.num_tuples; ++i) {
+    tuple[0] = Value::Int64(static_cast<int64_t>(i));  // c1 = row order (PK).
+    for (int c = 1; c < spec.num_columns; ++c) {
+      tuple[c] = Value::Int64(rng.UniformInt(0, spec.value_max));
+    }
+    SMOOTHSCAN_CHECK(heap_->Append(tuple).ok());
+  }
+  index_ = std::make_unique<BPlusTree>(engine, "micro_c2_idx", heap_.get(),
+                                       kIndexedColumn);
+  index_->BulkBuild();
+}
+
+MicroBenchDb::MicroBenchDb(Engine* engine, const SkewedBenchSpec& spec)
+    : value_max_(spec.value_max) {
+  SMOOTHSCAN_CHECK(spec.num_columns >= 2);
+  heap_ = std::make_unique<HeapFile>(engine, "micro_skew",
+                                     MakeIntSchema(spec.num_columns));
+  Rng rng(spec.seed);
+  Tuple tuple(spec.num_columns);
+  for (uint64_t i = 0; i < spec.num_tuples; ++i) {
+    tuple[0] = Value::Int64(static_cast<int64_t>(i));
+    const bool match = i < spec.dense_prefix ||
+                       rng.Bernoulli(spec.extra_match_fraction);
+    tuple[kIndexedColumn] =
+        Value::Int64(match ? 0 : rng.UniformInt(1, spec.value_max));
+    for (int c = 2; c < spec.num_columns; ++c) {
+      tuple[c] = Value::Int64(rng.UniformInt(0, spec.value_max));
+    }
+    SMOOTHSCAN_CHECK(heap_->Append(tuple).ok());
+  }
+  index_ = std::make_unique<BPlusTree>(engine, "micro_skew_c2_idx",
+                                       heap_.get(), kIndexedColumn);
+  index_->BulkBuild();
+}
+
+ScanPredicate MicroBenchDb::PredicateForSelectivity(double selectivity) const {
+  SMOOTHSCAN_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  ScanPredicate pred;
+  pred.column = kIndexedColumn;
+  pred.lo = 0;
+  pred.hi = static_cast<int64_t>(
+      std::llround(selectivity * static_cast<double>(value_max_ + 1)));
+  return pred;
+}
+
+ScanPredicate MicroBenchDb::ZeroKeyPredicate() const {
+  ScanPredicate pred;
+  pred.column = kIndexedColumn;
+  pred.lo = 0;
+  pred.hi = 1;
+  return pred;
+}
+
+}  // namespace smoothscan

@@ -1,0 +1,71 @@
+// Micro-benchmark of Section VI-C: a table of N tuples with 10 integer
+// columns randomly populated from [0, 100000]; c1 is the primary key (equal
+// to the tuple order number) and a non-clustered index is created on c2.
+// Queries are "SELECT * FROM relation WHERE c2 >= 0 AND c2 < X [ORDER BY c2]"
+// — X controls the selectivity. Also provides the skewed variant of
+// Section VI-D (a dense head region of matches plus a sprinkle of random
+// matches).
+
+#ifndef SMOOTHSCAN_WORKLOAD_MICRO_BENCH_H_
+#define SMOOTHSCAN_WORKLOAD_MICRO_BENCH_H_
+
+#include <memory>
+
+#include "access/predicate.h"
+#include "index/bplus_tree.h"
+#include "storage/engine.h"
+#include "storage/heap_file.h"
+
+namespace smoothscan {
+
+struct MicroBenchSpec {
+  uint64_t num_tuples = 200000;
+  int num_columns = 10;
+  /// Column values are uniform in [0, value_max].
+  int64_t value_max = 100000;
+  uint64_t seed = 42;
+};
+
+struct SkewedBenchSpec {
+  uint64_t num_tuples = 200000;
+  int num_columns = 10;
+  int64_t value_max = 100000;
+  /// The first `dense_prefix` tuples get c2 = 0 (the paper's 15 M-tuple dense
+  /// head, scaled).
+  uint64_t dense_prefix = 2000;
+  /// Afterwards this fraction of random tuples also gets c2 = 0 (the paper's
+  /// extra 0.001%).
+  double extra_match_fraction = 1e-5;
+  uint64_t seed = 42;
+};
+
+/// A generated table plus its secondary index on c2.
+class MicroBenchDb {
+ public:
+  /// Builds the uniform micro-benchmark table inside `engine`.
+  MicroBenchDb(Engine* engine, const MicroBenchSpec& spec);
+  /// Builds the skewed variant.
+  MicroBenchDb(Engine* engine, const SkewedBenchSpec& spec);
+
+  const HeapFile& heap() const { return *heap_; }
+  const BPlusTree& index() const { return *index_; }
+
+  /// Column index of c2, the indexed column.
+  static constexpr int kIndexedColumn = 1;
+
+  /// Predicate "c2 >= 0 AND c2 < selectivity * (value_max + 1)": its actual
+  /// selectivity is `selectivity` in expectation.
+  ScanPredicate PredicateForSelectivity(double selectivity) const;
+
+  /// Predicate "c2 = 0" — the skewed workload's query (~1% selectivity).
+  ScanPredicate ZeroKeyPredicate() const;
+
+ private:
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BPlusTree> index_;
+  int64_t value_max_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_WORKLOAD_MICRO_BENCH_H_

@@ -1,0 +1,131 @@
+// Workload generator tests: the micro-benchmark table of Section VI-C and
+// the skewed variant of Section VI-D.
+
+#include <gtest/gtest.h>
+
+#include "workload/micro_bench.h"
+
+namespace smoothscan {
+namespace {
+
+TEST(MicroBenchTest, ShapeMatchesSpec) {
+  Engine engine;
+  MicroBenchSpec spec;
+  spec.num_tuples = 5000;
+  spec.num_columns = 10;
+  MicroBenchDb db(&engine, spec);
+  EXPECT_EQ(db.heap().num_tuples(), 5000u);
+  EXPECT_EQ(db.heap().schema().num_columns(), 10u);
+  EXPECT_EQ(db.index().num_entries(), 5000u);
+  db.index().CheckInvariants();
+}
+
+TEST(MicroBenchTest, C1IsRowOrder) {
+  Engine engine;
+  MicroBenchSpec spec;
+  spec.num_tuples = 1000;
+  MicroBenchDb db(&engine, spec);
+  int64_t expected = 0;
+  db.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    EXPECT_EQ(t[0].AsInt64(), expected++);
+  });
+}
+
+TEST(MicroBenchTest, ValuesWithinDomain) {
+  Engine engine;
+  MicroBenchSpec spec;
+  spec.num_tuples = 2000;
+  spec.value_max = 1000;
+  MicroBenchDb db(&engine, spec);
+  db.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    for (size_t c = 1; c < t.size(); ++c) {
+      EXPECT_GE(t[c].AsInt64(), 0);
+      EXPECT_LE(t[c].AsInt64(), 1000);
+    }
+  });
+}
+
+TEST(MicroBenchTest, DeterministicForSeed) {
+  MicroBenchSpec spec;
+  spec.num_tuples = 500;
+  Engine e1, e2;
+  MicroBenchDb a(&e1, spec), b(&e2, spec);
+  std::vector<int64_t> va, vb;
+  a.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    va.push_back(t[1].AsInt64());
+  });
+  b.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    vb.push_back(t[1].AsInt64());
+  });
+  EXPECT_EQ(va, vb);
+}
+
+TEST(MicroBenchTest, PredicateSelectivityIsAccurate) {
+  Engine engine;
+  MicroBenchSpec spec;
+  spec.num_tuples = 50000;
+  MicroBenchDb db(&engine, spec);
+  for (const double sel : {0.01, 0.1, 0.5}) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    uint64_t matches = 0;
+    db.heap().ForEachDirect([&](Tid, const Tuple& t) {
+      matches += pred.Matches(t);
+    });
+    const double actual =
+        static_cast<double>(matches) / static_cast<double>(spec.num_tuples);
+    EXPECT_NEAR(actual, sel, sel * 0.15 + 0.001) << "requested " << sel;
+  }
+}
+
+TEST(MicroBenchTest, ExtremeSelectivities) {
+  Engine engine;
+  MicroBenchSpec spec;
+  spec.num_tuples = 5000;
+  MicroBenchDb db(&engine, spec);
+  const ScanPredicate none = db.PredicateForSelectivity(0.0);
+  const ScanPredicate all = db.PredicateForSelectivity(1.0);
+  uint64_t none_count = 0, all_count = 0;
+  db.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    none_count += none.Matches(t);
+    all_count += all.Matches(t);
+  });
+  EXPECT_EQ(none_count, 0u);
+  EXPECT_EQ(all_count, 5000u);
+}
+
+TEST(SkewedBenchTest, DensePrefixAllMatches) {
+  Engine engine;
+  SkewedBenchSpec spec;
+  spec.num_tuples = 10000;
+  spec.dense_prefix = 500;
+  MicroBenchDb db(&engine, spec);
+  const ScanPredicate pred = db.ZeroKeyPredicate();
+  uint64_t prefix_matches = 0;
+  uint64_t total_matches = 0;
+  db.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    if (pred.Matches(t)) {
+      ++total_matches;
+      if (t[0].AsInt64() < 500) ++prefix_matches;
+    }
+  });
+  EXPECT_EQ(prefix_matches, 500u);       // Every prefix tuple matches.
+  EXPECT_GE(total_matches, 500u);        // Plus the random extras.
+  EXPECT_LT(total_matches, 600u);        // But not many of them.
+}
+
+TEST(SkewedBenchTest, SelectivityAboutOnePercent) {
+  Engine engine;
+  SkewedBenchSpec spec;
+  spec.num_tuples = 50000;
+  spec.dense_prefix = 500;  // 1% of the table.
+  MicroBenchDb db(&engine, spec);
+  const ScanPredicate pred = db.ZeroKeyPredicate();
+  uint64_t matches = 0;
+  db.heap().ForEachDirect([&](Tid, const Tuple& t) {
+    matches += pred.Matches(t);
+  });
+  EXPECT_NEAR(static_cast<double>(matches) / 50000.0, 0.01, 0.003);
+}
+
+}  // namespace
+}  // namespace smoothscan
