@@ -30,18 +30,21 @@ class KeySource : public Operator {
  public:
   KeySource(uint64_t n, int64_t key_max, uint64_t seed)
       : n_(n), key_max_(key_max), seed_(seed) {}
-  Status Open() override {
+  const char* name() const override { return "KeySource"; }
+
+ protected:
+  Status OpenImpl() override {
     rng_.Seed(seed_);
     produced_ = 0;
     return Status::OK();
   }
-  bool Next(Tuple* out) override {
-    if (produced_ >= n_) return false;
-    ++produced_;
-    *out = {Value::Int64(rng_.UniformInt(0, key_max_))};
-    return true;
+  bool NextBatchImpl(TupleBatch* out) override {
+    while (produced_ < n_ && !out->full()) {
+      ++produced_;
+      out->Append({Value::Int64(rng_.UniformInt(0, key_max_))});
+    }
+    return !out->empty();
   }
-  const char* name() const override { return "KeySource"; }
 
  private:
   uint64_t n_;

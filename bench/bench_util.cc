@@ -5,11 +5,16 @@
 namespace smoothscan::bench {
 
 RunMetrics MeasureScan(Engine* engine, AccessPath* path) {
+  return MeasureScanBatched(engine, path, kDefaultBatchSize);
+}
+
+RunMetrics MeasureScanBatched(Engine* engine, AccessPath* path,
+                              size_t batch_size) {
   return MeasureCold(engine, [&]() -> uint64_t {
     SMOOTHSCAN_CHECK(path->Open().ok());
-    Tuple t;
+    TupleBatch batch(batch_size);
     uint64_t n = 0;
-    while (path->Next(&t)) ++n;
+    while (path->NextBatch(&batch)) n += batch.size();
     path->Close();
     return n;
   });

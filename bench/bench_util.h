@@ -49,8 +49,13 @@ RunMetrics MeasureCold(Engine* engine, Body&& body) {
   return m;
 }
 
-/// Opens, drains and closes `path` cold; returns the metrics.
+/// Opens, drains and closes `path` cold with batch pulls of
+/// `kDefaultBatchSize`; returns the metrics.
 RunMetrics MeasureScan(Engine* engine, AccessPath* path);
+
+/// Same, with a caller-chosen batch capacity (batch-size ablations).
+RunMetrics MeasureScanBatched(Engine* engine, AccessPath* path,
+                              size_t batch_size);
 
 /// Prints a standard header / row for selectivity-sweep benches.
 void PrintSweepHeader(const std::string& bench, const std::string& extra);

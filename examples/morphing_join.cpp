@@ -21,18 +21,21 @@ namespace {
 class KeySource : public Operator {
  public:
   KeySource(uint64_t n, int64_t key_max) : n_(n), key_max_(key_max) {}
-  Status Open() override {
+  const char* name() const override { return "KeySource"; }
+
+ protected:
+  Status OpenImpl() override {
     rng_.Seed(11);
     produced_ = 0;
     return Status::OK();
   }
-  bool Next(Tuple* out) override {
-    if (produced_ >= n_) return false;
-    ++produced_;
-    *out = {Value::Int64(rng_.UniformInt(0, key_max_))};
-    return true;
+  bool NextBatchImpl(TupleBatch* out) override {
+    while (produced_ < n_ && !out->full()) {
+      ++produced_;
+      out->Append({Value::Int64(rng_.UniformInt(0, key_max_))});
+    }
+    return !out->empty();
   }
-  const char* name() const override { return "KeySource"; }
 
  private:
   uint64_t n_;
@@ -68,8 +71,8 @@ int main() {
       engine.ColdRestart();
       const IoStats before = engine.disk().stats();
       SMOOTHSCAN_CHECK(join.Open().ok());
-      Tuple t;
-      while (join.Next(&t)) {
+      TupleBatch batch;
+      while (join.NextBatch(&batch)) {
       }
       const double io = (engine.disk().stats() - before).io_time;
       std::printf("%-10llu %-14s %12.1f %12llu %15.1f%%\n",

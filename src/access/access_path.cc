@@ -1,0 +1,26 @@
+#include "access/access_path.h"
+
+namespace smoothscan {
+
+Status AccessPath::Open() {
+  stats_ = AccessPathStats();
+  carry_.Reset();
+  return OpenImpl();
+}
+
+bool AccessPath::NextBatch(TupleBatch* out) {
+  return carry_.NextBatch(out,
+                          [this](TupleBatch* b) { return NextBatchImpl(b); });
+}
+
+bool AccessPath::Next(Tuple* out) {
+  return carry_.Next(out,
+                     [this](TupleBatch* b) { return NextBatchImpl(b); });
+}
+
+void AccessPath::Close() {
+  carry_.MarkClosed();
+  CloseImpl();
+}
+
+}  // namespace smoothscan

@@ -1,9 +1,35 @@
-// AccessPath: the common Volcano-style interface of every access path
-// operator (Full Scan, Index Scan, Sort Scan, Switch Scan, Smooth Scan).
-// Open() prepares the scan, Next() produces one tuple at a time, Close()
-// releases state. All I/O flows through the engine's buffer pool and all CPU
-// work through its meter, so a caller can diff engine counters around a scan
-// to obtain the paper's measurements.
+// AccessPath: the common interface of every access path operator (Full Scan,
+// Index Scan, Sort Scan, Switch Scan, Smooth Scan). The substrate is
+// *batch-first*: NextBatch() is the native producing call and fills up to a
+// TupleBatch of qualifying tuples per virtual dispatch; Next() remains as a
+// thin compatibility adapter that drains an internal batch one tuple at a
+// time. All I/O flows through the engine's buffer pool and all CPU work
+// through its meter (charged per batch, amortized), so a caller can diff
+// engine counters around a scan to obtain the paper's measurements.
+//
+// Lifecycle contract:
+//   * Open() — prepares the scan and RESETS all iteration state and stats.
+//     Calling Open() again after Close() (or even mid-stream) restarts the
+//     scan from the beginning; the second run produces exactly the same
+//     tuples as a fresh instance would (I/O counters differ only through
+//     buffer-pool residency).
+//   * NextBatch(b) — clears `b`, then appends up to b->capacity() qualifying
+//     tuples. Returns true iff at least one tuple was appended; false means
+//     end of stream (and stays false until re-Open).
+//   * Next(t) — equivalent tuple-at-a-time view over the same batch stream.
+//     Mixing Next() and NextBatch() on one scan is supported; tuples buffered
+//     by the adapter are handed to NextBatch first so none is lost or
+//     duplicated.
+//   * Close() — releases scan state: drops buffer-pool references, index
+//     iterators, auxiliary caches and any buffered tuples. Idempotent, and
+//     safe to follow with a re-Open(). The simulation's buffer pool is
+//     unpinned by design (pages are owned by the StorageManager), so "release
+//     pins" means forgetting page references and cache structures.
+//   * stats() — counters of the CURRENT Open() cycle (Open resets them).
+//     Read them before re-Open.
+//
+// Implementations override OpenImpl / NextBatchImpl / CloseImpl; the base
+// class owns the adapter buffering and the end-of-stream latch.
 
 #ifndef SMOOTHSCAN_ACCESS_ACCESS_PATH_H_
 #define SMOOTHSCAN_ACCESS_ACCESS_PATH_H_
@@ -11,7 +37,9 @@
 #include <cstdint>
 
 #include "access/predicate.h"
+#include "common/batch_carry.h"
 #include "common/status.h"
+#include "common/tuple_batch.h"
 #include "storage/schema.h"
 
 namespace smoothscan {
@@ -21,21 +49,28 @@ struct AccessPathStats {
   uint64_t tuples_produced = 0;
   uint64_t tuples_inspected = 0;
   uint64_t heap_pages_probed = 0;  ///< Heap page fetch events (incl. repeats).
+
+  friend bool operator==(const AccessPathStats&,
+                         const AccessPathStats&) = default;
 };
 
-/// Abstract pipelined access path.
+/// Abstract pipelined access path (see the lifecycle contract above).
 class AccessPath {
  public:
   virtual ~AccessPath() = default;
 
-  /// Prepares the scan. Must be called exactly once before Next().
-  virtual Status Open() = 0;
+  /// Prepares the scan, resetting iteration state and stats.
+  Status Open();
 
-  /// Produces the next qualifying tuple. Returns false at end of stream.
-  virtual bool Next(Tuple* out) = 0;
+  /// Fills `out` with up to out->capacity() qualifying tuples. Returns false
+  /// at end of stream (with `out` empty).
+  bool NextBatch(TupleBatch* out);
 
-  /// Releases scan state. Idempotent.
-  virtual void Close() {}
+  /// Tuple-at-a-time adapter over NextBatch(). Returns false at end.
+  bool Next(Tuple* out);
+
+  /// Releases scan state (see contract). Idempotent; re-Open is safe.
+  void Close();
 
   /// Operator name for reports ("FullScan", "SmoothScan", ...).
   virtual const char* name() const = 0;
@@ -43,7 +78,17 @@ class AccessPath {
   const AccessPathStats& stats() const { return stats_; }
 
  protected:
+  /// Subclass hooks. NextBatchImpl appends to `out` (already cleared) and
+  /// returns !out->empty(); it is never called again after returning false
+  /// until the next Open().
+  virtual Status OpenImpl() = 0;
+  virtual bool NextBatchImpl(TupleBatch* out) = 0;
+  virtual void CloseImpl() {}
+
   AccessPathStats stats_;
+
+ private:
+  BatchCarry carry_;  ///< Shared adapter buffering (see batch_carry.h).
 };
 
 }  // namespace smoothscan

@@ -1,5 +1,7 @@
 #include "access/full_scan.h"
 
+#include <algorithm>
+
 namespace smoothscan {
 
 FullScan::FullScan(const HeapFile* heap, ScanPredicate predicate,
@@ -8,50 +10,72 @@ FullScan::FullScan(const HeapFile* heap, ScanPredicate predicate,
   SMOOTHSCAN_CHECK(options_.read_ahead_pages > 0);
 }
 
-Status FullScan::Open() {
-  next_page_ = 0;
+Status FullScan::OpenImpl() {
+  cur_page_ = 0;
+  cur_slot_ = 0;
+  window_end_ = 0;
   num_pages_ = static_cast<PageId>(heap_->num_pages());
-  pending_.clear();
   return Status::OK();
 }
 
-void FullScan::FillWindow() {
-  Engine* engine = heap_->engine();
-  const Schema& schema = heap_->schema();
-  while (pending_.empty() && next_page_ < num_pages_) {
-    const uint32_t window =
-        std::min<uint32_t>(options_.read_ahead_pages, num_pages_ - next_page_);
-    engine->pool().FetchExtent(heap_->file_id(), next_page_, window);
-    for (uint32_t i = 0; i < window; ++i) {
-      const Page& page =
-          engine->storage().GetPage(heap_->file_id(), next_page_ + i);
-      ++stats_.heap_pages_probed;
-      for (uint16_t s = 0; s < page.num_slots(); ++s) {
-        uint32_t size = 0;
-        const uint8_t* data = page.GetTuple(s, &size);
-        ++stats_.tuples_inspected;
-        engine->cpu().ChargeInspect();
-        // Cheap key check on the serialized bytes before materializing.
-        const int64_t key =
-            schema.DeserializeColumn(data, size, predicate_.column).AsInt64();
-        if (!predicate_.MatchesKey(key)) continue;
-        Tuple tuple = schema.Deserialize(data, size);
-        if (predicate_.residual && !predicate_.residual(tuple)) continue;
-        engine->cpu().ChargeProduce();
-        pending_.push_back(std::move(tuple));
-      }
-    }
-    next_page_ += window;
-  }
+void FullScan::CloseImpl() {
+  // Forget the cursor; pages themselves are owned by the StorageManager and
+  // the buffer pool holds no pins, so there is nothing else to release.
+  cur_page_ = num_pages_;
+  cur_slot_ = 0;
 }
 
-bool FullScan::Next(Tuple* out) {
-  if (pending_.empty()) FillWindow();
-  if (pending_.empty()) return false;
-  *out = std::move(pending_.front());
-  pending_.pop_front();
-  ++stats_.tuples_produced;
-  return true;
+bool FullScan::NextBatchImpl(TupleBatch* out) {
+  Engine* engine = heap_->engine();
+  const Schema& schema = heap_->schema();
+  const FileId file = heap_->file_id();
+  const int key_col = predicate_.column;
+  const int64_t lo = predicate_.lo;
+  const int64_t hi = predicate_.hi;
+  const bool has_residual = static_cast<bool>(predicate_.residual);
+  // Dense-fill kernel: the running count stays in a register; failed
+  // residuals simply do not advance it, reusing the slot.
+  Tuple* rows = out->fill_rows();
+  size_t filled = out->fill_begin();
+  const size_t cap = out->capacity();
+  uint64_t inspected = 0;
+  while (filled < cap && cur_page_ < num_pages_) {
+    if (cur_page_ >= window_end_) {
+      const uint32_t window = std::min<uint32_t>(options_.read_ahead_pages,
+                                                 num_pages_ - window_end_);
+      engine->pool().FetchExtent(file, window_end_, window);
+      window_end_ += window;
+    }
+    const Page& page = engine->storage().GetPage(file, cur_page_);
+    if (cur_slot_ == 0) ++stats_.heap_pages_probed;
+    const uint16_t num_slots = page.num_slots();
+    uint16_t slot = cur_slot_;
+    while (slot < num_slots && filled < cap) {
+      uint32_t size = 0;
+      const uint8_t* data = page.GetTuple(slot, &size);
+      ++slot;
+      ++inspected;
+      // Cheap key check on the serialized bytes before materializing.
+      const int64_t key = schema.ReadInt64Column(data, size, key_col);
+      if (key < lo || key >= hi) continue;
+      Tuple* decoded = &rows[filled];
+      schema.DeserializeInto(data, size, decoded);
+      if (has_residual && !predicate_.residual(*decoded)) continue;
+      ++filled;
+    }
+    cur_slot_ = slot;
+    if (cur_slot_ >= num_slots) {
+      ++cur_page_;
+      cur_slot_ = 0;
+    }
+  }
+  const uint64_t produced = filled - out->fill_begin();
+  out->set_filled(filled);
+  stats_.tuples_inspected += inspected;
+  stats_.tuples_produced += produced;
+  engine->cpu().ChargeInspect(inspected);
+  engine->cpu().ChargeProduce(produced);
+  return !out->empty();
 }
 
 }  // namespace smoothscan

@@ -7,30 +7,33 @@ IndexScan::IndexScan(const BPlusTree* index, ScanPredicate predicate)
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
 }
 
-Status IndexScan::Open() {
+Status IndexScan::OpenImpl() {
   it_ = index_->Seek(predicate_.lo);
   return Status::OK();
 }
 
-bool IndexScan::Next(Tuple* out) {
+bool IndexScan::NextBatchImpl(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
   Engine* engine = heap->engine();
-  while (it_->Valid() && it_->key() < predicate_.hi) {
+  uint64_t inspected = 0;
+  uint64_t produced = 0;
+  while (!out->full() && it_->Valid() && it_->key() < predicate_.hi) {
     const Tid tid = it_->tid();
     it_->Next();
     // One heap look-up per entry: random I/O unless the page happens to be
     // resident — exactly the pattern of Eq. (11).
     Tuple tuple = heap->Read(tid);
     ++stats_.heap_pages_probed;
-    ++stats_.tuples_inspected;
-    engine->cpu().ChargeInspect();
+    ++inspected;
     if (predicate_.residual && !predicate_.residual(tuple)) continue;
-    engine->cpu().ChargeProduce();
-    ++stats_.tuples_produced;
-    *out = std::move(tuple);
-    return true;
+    ++produced;
+    out->Append(std::move(tuple));
   }
-  return false;
+  stats_.tuples_inspected += inspected;
+  stats_.tuples_produced += produced;
+  engine->cpu().ChargeInspect(inspected);
+  engine->cpu().ChargeProduce(produced);
+  return !out->empty();
 }
 
 }  // namespace smoothscan

@@ -2,7 +2,8 @@
 // tree descent, then a leaf-order traversal of the qualifying key range with
 // one heap page fetch per entry — the random, possibly repeated access
 // pattern whose degradation under growing selectivity motivates the paper.
-// Emits tuples in index-key order.
+// Emits tuples in index-key order; batched, the per-entry heap look-ups of a
+// whole batch are issued from one virtual call.
 
 #ifndef SMOOTHSCAN_ACCESS_INDEX_SCAN_H_
 #define SMOOTHSCAN_ACCESS_INDEX_SCAN_H_
@@ -19,9 +20,12 @@ class IndexScan : public AccessPath {
   /// `predicate.column` must equal `index->key_column()`.
   IndexScan(const BPlusTree* index, ScanPredicate predicate);
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
   const char* name() const override { return "IndexScan"; }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override { it_.reset(); }
 
  private:
   const BPlusTree* index_;

@@ -35,10 +35,13 @@ SmoothScan::SmoothScan(const BPlusTree* index, ScanPredicate predicate,
   SMOOTHSCAN_CHECK(options_.max_region_pages >= 1);
 }
 
-Status SmoothScan::Open() {
+Status SmoothScan::OpenImpl() {
   sstats_ = SmoothScanStats();
   emit_.clear();
+  emit_pos_ = 0;
   region_pages_ = 1;
+  tuple_cache_.reset();
+  result_cache_.reset();
   page_cache_ = std::make_unique<PageIdCache>(index_->heap()->num_pages());
 
   switch (options_.trigger) {
@@ -77,6 +80,19 @@ Status SmoothScan::Open() {
   return Status::OK();
 }
 
+void SmoothScan::CloseImpl() {
+  // Release every auxiliary structure (page/tuple caches, result cache and
+  // its spill file references, buffered tuples, the index iterator). The
+  // next Open() rebuilds them from scratch.
+  it_.reset();
+  page_cache_.reset();
+  tuple_cache_.reset();
+  result_cache_.reset();
+  emit_.clear();
+  emit_.shrink_to_fit();
+  emit_pos_ = 0;
+}
+
 void SmoothScan::MaybeTrigger() {
   if (morphing_) return;
   if (stats_.tuples_produced >= pretrigger_bound_) {
@@ -86,7 +102,7 @@ void SmoothScan::MaybeTrigger() {
   }
 }
 
-bool SmoothScan::Mode0Step(Tuple* out) {
+void SmoothScan::Mode0Step(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
   Engine* engine = heap->engine();
   const Tid tid = it_->tid();
@@ -95,7 +111,7 @@ bool SmoothScan::Mode0Step(Tuple* out) {
   ++stats_.heap_pages_probed;
   ++stats_.tuples_inspected;
   engine->cpu().ChargeInspect();
-  if (predicate_.residual && !predicate_.residual(tuple)) return false;
+  if (predicate_.residual && !predicate_.residual(tuple)) return;
   if (tuple_cache_ != nullptr) {
     tuple_cache_->Insert(tid);
     engine->cpu().ChargeCacheOp();
@@ -109,9 +125,8 @@ bool SmoothScan::Mode0Step(Tuple* out) {
   engine->cpu().ChargeProduce();
   ++stats_.tuples_produced;
   ++sstats_.card_mode0;
-  *out = std::move(tuple);
+  out->Append(std::move(tuple));
   MaybeTrigger();
-  return true;
 }
 
 void SmoothScan::UpdatePolicy(uint64_t region_pages,
@@ -146,7 +161,7 @@ void SmoothScan::UpdatePolicy(uint64_t region_pages,
   }
 }
 
-void SmoothScan::FetchRegionAndHarvest(PageId target) {
+void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
   const HeapFile* heap = index_->heap();
   Engine* engine = heap->engine();
   const Schema& schema = heap->schema();
@@ -169,13 +184,17 @@ void SmoothScan::FetchRegionAndHarvest(PageId target) {
   }
   ++sstats_.probes;
 
+  // Per-region CPU accounting, charged once (amortized) after the harvest.
+  uint64_t inspected = 0;
+  uint64_t produced = 0;
+  uint64_t cache_ops = 0;
   uint64_t region_pages_seen = 0;
   uint64_t region_result_pages = 0;
   for (uint32_t i = 0; i < count; ++i) {
     const PageId pid = target + i;
     if (page_cache_->IsMarked(pid)) continue;  // Harvested earlier.
     page_cache_->Mark(pid);
-    engine->cpu().ChargeCacheOp();
+    ++cache_ops;
     ++stats_.heap_pages_probed;
     ++region_pages_seen;
 
@@ -184,10 +203,9 @@ void SmoothScan::FetchRegionAndHarvest(PageId target) {
     for (uint16_t s = 0; s < page.num_slots(); ++s) {
       uint32_t size = 0;
       const uint8_t* data = page.GetTuple(s, &size);
-      ++stats_.tuples_inspected;
-      engine->cpu().ChargeInspect();
+      ++inspected;
       const int64_t key =
-          schema.DeserializeColumn(data, size, predicate_.column).AsInt64();
+          schema.ReadInt64Column(data, size, predicate_.column);
       if (!predicate_.MatchesKey(key)) continue;
       Tuple tuple = schema.Deserialize(data, size);
       if (predicate_.residual && !predicate_.residual(tuple)) continue;
@@ -196,7 +214,7 @@ void SmoothScan::FetchRegionAndHarvest(PageId target) {
       // Under a non-eager trigger, tuples already produced in Mode 0 must
       // not be produced again.
       if (tuple_cache_ != nullptr) {
-        engine->cpu().ChargeCacheOp();
+        ++cache_ops;
         if (tuple_cache_->Contains(tid)) continue;
       } else if (options_.positional_dedup && m0_any_) {
         // Mode 0 produced every qualifying tuple positioned at or before
@@ -211,15 +229,18 @@ void SmoothScan::FetchRegionAndHarvest(PageId target) {
       } else {
         ++sstats_.card_mode1;
       }
+      ++produced;
       if (options_.preserve_order) {
-        engine->cpu().ChargeCacheOp();
-        engine->cpu().ChargeProduce();
+        ++cache_ops;
         result_cache_->Insert(key, tid, std::move(tuple));
         ++sstats_.rc_inserts;
-        sstats_.rc_max_size = std::max(sstats_.rc_max_size,
-                                       result_cache_->max_size());
+        sstats_.rc_max_size =
+            std::max(sstats_.rc_max_size, result_cache_->max_size());
+      } else if (out != nullptr && !out->full()) {
+        // Emit straight into the caller's batch — the vectorized fast path.
+        out->Append(std::move(tuple));
+        ++stats_.tuples_produced;
       } else {
-        engine->cpu().ChargeProduce();
         emit_.push_back(std::move(tuple));
       }
     }
@@ -229,6 +250,10 @@ void SmoothScan::FetchRegionAndHarvest(PageId target) {
       if (page_has_result) ++sstats_.morph_result_pages;
     }
   }
+  stats_.tuples_inspected += inspected;
+  engine->cpu().ChargeInspect(inspected);
+  engine->cpu().ChargeProduce(produced);
+  engine->cpu().ChargeCacheOp(cache_ops);
   // The policy compares the region's local selectivity (Eq. 1) against the
   // global selectivity of the pages seen *before* this region (Eq. 2).
   UpdatePolicy(region_pages_seen, region_result_pages);
@@ -236,18 +261,23 @@ void SmoothScan::FetchRegionAndHarvest(PageId target) {
   sstats_.pages_with_results += region_result_pages;
 }
 
-bool SmoothScan::NextUnordered(Tuple* out) {
+void SmoothScan::NextUnordered(TupleBatch* out) {
   Engine* engine = index_->heap()->engine();
-  while (true) {
-    if (!emit_.empty()) {
-      *out = std::move(emit_.front());
-      emit_.pop_front();
-      ++stats_.tuples_produced;
-      return true;
+  while (!out->full()) {
+    if (emit_pos_ < emit_.size()) {
+      while (emit_pos_ < emit_.size() && !out->full()) {
+        out->Append(std::move(emit_[emit_pos_++]));
+        ++stats_.tuples_produced;
+      }
+      if (emit_pos_ >= emit_.size()) {
+        emit_.clear();
+        emit_pos_ = 0;
+      }
+      continue;
     }
-    if (!it_->Valid() || it_->key() >= predicate_.hi) return false;
+    if (!it_->Valid() || it_->key() >= predicate_.hi) return;
     if (!morphing_) {
-      if (Mode0Step(out)) return true;
+      Mode0Step(out);
       continue;
     }
     const Tid tid = it_->tid();
@@ -256,18 +286,18 @@ bool SmoothScan::NextUnordered(Tuple* out) {
       it_->Next();  // Skip the leaf pointer (the X marks in Fig. 3).
       continue;
     }
-    FetchRegionAndHarvest(tid.page_id);
+    FetchRegionAndHarvest(tid.page_id, out);
     it_->Next();
   }
 }
 
-bool SmoothScan::NextOrdered(Tuple* out) {
+void SmoothScan::NextOrdered(TupleBatch* out) {
   Engine* engine = index_->heap()->engine();
-  while (true) {
-    if (!it_->Valid() || it_->key() >= predicate_.hi) return false;
+  while (!out->full()) {
+    if (!it_->Valid() || it_->key() >= predicate_.hi) return;
     if (!morphing_) {
       // Plain index scan is naturally ordered.
-      if (Mode0Step(out)) return true;
+      Mode0Step(out);
       continue;
     }
     const Tid tid = it_->tid();
@@ -280,7 +310,7 @@ bool SmoothScan::NextOrdered(Tuple* out) {
     } else {
       engine->cpu().ChargeCacheOp();  // Page ID Cache bit check.
       if (!page_cache_->IsMarked(tid.page_id)) {
-        FetchRegionAndHarvest(tid.page_id);
+        FetchRegionAndHarvest(tid.page_id, /*out=*/nullptr);
         // The entry's tuple is now cached unless it failed the residual
         // predicate or was produced pre-trigger.
         cached = result_cache_->Take(key, tid);
@@ -290,13 +320,17 @@ bool SmoothScan::NextOrdered(Tuple* out) {
     if (!cached) continue;  // Residual failure / Mode-0 duplicate: skip.
     result_cache_->EvictBelow(key);
     ++stats_.tuples_produced;
-    *out = std::move(*cached);
-    return true;
+    out->Append(std::move(*cached));
   }
 }
 
-bool SmoothScan::Next(Tuple* out) {
-  return options_.preserve_order ? NextOrdered(out) : NextUnordered(out);
+bool SmoothScan::NextBatchImpl(TupleBatch* out) {
+  if (options_.preserve_order) {
+    NextOrdered(out);
+  } else {
+    NextUnordered(out);
+  }
+  return !out->empty();
 }
 
 }  // namespace smoothscan

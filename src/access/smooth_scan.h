@@ -29,9 +29,9 @@
 #ifndef SMOOTHSCAN_ACCESS_SMOOTH_SCAN_H_
 #define SMOOTHSCAN_ACCESS_SMOOTH_SCAN_H_
 
-#include <deque>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "access/access_path.h"
 #include "access/page_id_cache.h"
@@ -128,25 +128,30 @@ class SmoothScan : public AccessPath {
   SmoothScan(const BPlusTree* index, ScanPredicate predicate,
              SmoothScanOptions options = SmoothScanOptions());
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
   const char* name() const override { return "SmoothScan"; }
 
   const SmoothScanOptions& options() const { return options_; }
   const SmoothScanStats& smooth_stats() const { return sstats_; }
   uint32_t current_region_pages() const { return region_pages_; }
 
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
  private:
-  bool NextUnordered(Tuple* out);
-  bool NextOrdered(Tuple* out);
-  /// Pre-trigger plain index-scan step. Returns true when `out` was filled.
-  bool Mode0Step(Tuple* out);
+  void NextUnordered(TupleBatch* out);
+  void NextOrdered(TupleBatch* out);
+  /// Pre-trigger plain index-scan step; appends at most one tuple to `out`.
+  void Mode0Step(TupleBatch* out);
   /// Fires the trigger when the pre-trigger cardinality bound is exceeded.
   void MaybeTrigger();
-  /// Fetches the morphing region anchored at `target` (one I/O request),
-  /// harvests all qualifying tuples from unprocessed pages, and updates the
-  /// policy state.
-  void FetchRegionAndHarvest(PageId target);
+  /// Fetches the morphing region anchored at `target` (one I/O request) and
+  /// harvests all qualifying tuples from unprocessed pages — into `out`
+  /// while it has room, spilling the remainder of the region to `emit_` —
+  /// then updates the policy state. `out` may be null (ordered mode inserts
+  /// into the Result Cache instead).
+  void FetchRegionAndHarvest(PageId target, TupleBatch* out);
   void UpdatePolicy(uint64_t region_pages, uint64_t region_result_pages);
 
   const BPlusTree* index_;
@@ -166,7 +171,12 @@ class SmoothScan : public AccessPath {
   std::unique_ptr<PageIdCache> page_cache_;
   std::unique_ptr<TupleIdCache> tuple_cache_;
   std::unique_ptr<ResultCache> result_cache_;
-  std::deque<Tuple> emit_;
+  /// Overflow of harvested-but-not-yet-emitted tuples (a morphing region can
+  /// exceed one batch). `emit_pos_` is the consumption cursor — rows are
+  /// never erased from the front (that would be quadratic at small batch
+  /// sizes); the vector is cleared once fully drained.
+  std::vector<Tuple> emit_;
+  size_t emit_pos_ = 0;
   uint32_t region_pages_ = 1;
 };
 

@@ -10,7 +10,7 @@ SortScan::SortScan(const BPlusTree* index, ScanPredicate predicate,
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
 }
 
-Status SortScan::Open() {
+Status SortScan::OpenImpl() {
   const HeapFile* heap = index_->heap();
   Engine* engine = heap->engine();
   results_.clear();
@@ -39,6 +39,8 @@ Status SortScan::Open() {
   // Extent chunks stay well below the buffer-pool capacity so that a long
   // run of consecutive result pages is consumed before any of it is evicted.
   const uint32_t kChunkPages = 64;
+  uint64_t inspected = 0;
+  uint64_t produced = 0;
   size_t i = 0;
   while (i < tids.size()) {
     // Extent of consecutive distinct pages starting at tids[i].
@@ -61,15 +63,17 @@ Status SortScan::Open() {
     stats_.heap_pages_probed += extent_pages;
     for (size_t k = i; k <= j; ++k) {
       Tuple tuple = heap->Read(tids[k]);  // Resident: buffer-pool hit.
-      ++stats_.tuples_inspected;
-      engine->cpu().ChargeInspect();
+      ++inspected;
       if (predicate_.residual && !predicate_.residual(tuple)) continue;
-      engine->cpu().ChargeProduce();
+      ++produced;
       keyed.push_back(
           {tuple[predicate_.column].AsInt64(), tids[k], std::move(tuple)});
     }
     i = j + 1;
   }
+  stats_.tuples_inspected += inspected;
+  engine->cpu().ChargeInspect(inspected);
+  engine->cpu().ChargeProduce(produced);
 
   // Phase 4 (optional): posterior sort restoring the interesting order.
   if (options_.preserve_order) {
@@ -84,11 +88,12 @@ Status SortScan::Open() {
   return Status::OK();
 }
 
-bool SortScan::Next(Tuple* out) {
-  if (next_result_ >= results_.size()) return false;
-  *out = std::move(results_[next_result_++]);
-  ++stats_.tuples_produced;
-  return true;
+bool SortScan::NextBatchImpl(TupleBatch* out) {
+  while (next_result_ < results_.size() && !out->full()) {
+    out->Append(std::move(results_[next_result_++]));
+    ++stats_.tuples_produced;
+  }
+  return !out->empty();
 }
 
 }  // namespace smoothscan

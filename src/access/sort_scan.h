@@ -2,7 +2,8 @@
 // qualifying TIDs from the index, sorts them in heap-page order, then fetches
 // the matching pages (and only those) with a nearly sequential pattern. The
 // price is a blocking execution model, and — when the consumer needs the
-// index order — a posterior sort of the result tuples.
+// index order — a posterior sort of the result tuples. Batches are emitted as
+// dense slices of the materialized result.
 
 #ifndef SMOOTHSCAN_ACCESS_SORT_SCAN_H_
 #define SMOOTHSCAN_ACCESS_SORT_SCAN_H_
@@ -26,13 +27,20 @@ class SortScan : public AccessPath {
   SortScan(const BPlusTree* index, ScanPredicate predicate,
            SortScanOptions options = SortScanOptions());
 
-  /// Blocking: performs the index traversal, TID sort and all heap I/O.
-  Status Open() override;
-  bool Next(Tuple* out) override;
   const char* name() const override { return "SortScan"; }
 
   /// Heap pages fetched (distinct by construction).
   uint64_t pages_fetched() const { return pages_fetched_; }
+
+ protected:
+  /// Blocking: performs the index traversal, TID sort and all heap I/O.
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override {
+    results_.clear();
+    results_.shrink_to_fit();
+    next_result_ = 0;
+  }
 
  private:
   const BPlusTree* index_;

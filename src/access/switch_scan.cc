@@ -1,5 +1,7 @@
 #include "access/switch_scan.h"
 
+#include <algorithm>
+
 namespace smoothscan {
 
 SwitchScan::SwitchScan(const BPlusTree* index, ScanPredicate predicate,
@@ -8,24 +10,33 @@ SwitchScan::SwitchScan(const BPlusTree* index, ScanPredicate predicate,
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
 }
 
-Status SwitchScan::Open() {
+Status SwitchScan::OpenImpl() {
   it_ = index_->Seek(predicate_.lo);
+  produced_.Clear();
   switched_ = false;
-  next_page_ = 0;
+  cur_page_ = 0;
+  cur_slot_ = 0;
+  window_end_ = 0;
   num_pages_ = static_cast<PageId>(index_->heap()->num_pages());
-  pending_.clear();
   return Status::OK();
 }
 
-bool SwitchScan::NextFromIndex(Tuple* out) {
+void SwitchScan::CloseImpl() {
+  it_.reset();
+  produced_.Clear();
+}
+
+void SwitchScan::IndexPhase(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
   Engine* engine = heap->engine();
-  while (it_->Valid() && it_->key() < predicate_.hi) {
+  uint64_t inspected = 0;
+  uint64_t produced = 0;
+  uint64_t cache_ops = 0;
+  while (!out->full() && it_->Valid() && it_->key() < predicate_.hi) {
     const Tid tid = it_->tid();
     Tuple tuple = heap->Read(tid);
     ++stats_.heap_pages_probed;
-    ++stats_.tuples_inspected;
-    engine->cpu().ChargeInspect();
+    ++inspected;
     if (predicate_.residual && !predicate_.residual(tuple)) {
       it_->Next();
       continue;
@@ -34,67 +45,84 @@ bool SwitchScan::NextFromIndex(Tuple* out) {
     // estimate is wrong: switch *before producing the next result tuple*
     // (Section VI-F). The tuple is not produced here — the full scan will
     // re-discover it, since its TID was never recorded.
-    if (stats_.tuples_produced >= options_.estimated_cardinality) {
+    if (stats_.tuples_produced + produced >= options_.estimated_cardinality) {
       switched_ = true;
-      return false;
+      break;
     }
     it_->Next();
     produced_.Insert(tid);
-    engine->cpu().ChargeCacheOp();
-    engine->cpu().ChargeProduce();
-    ++stats_.tuples_produced;
-    *out = std::move(tuple);
-    return true;
+    ++cache_ops;
+    ++produced;
+    out->Append(std::move(tuple));
   }
-  return false;
+  stats_.tuples_inspected += inspected;
+  stats_.tuples_produced += produced;
+  engine->cpu().ChargeInspect(inspected);
+  engine->cpu().ChargeCacheOp(cache_ops);
+  engine->cpu().ChargeProduce(produced);
 }
 
-bool SwitchScan::NextFromFullScan(Tuple* out) {
+void SwitchScan::FullScanPhase(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
   Engine* engine = heap->engine();
   const Schema& schema = heap->schema();
-  while (true) {
-    if (!pending_.empty()) {
-      *out = std::move(pending_.front());
-      pending_.pop_front();
-      ++stats_.tuples_produced;
-      return true;
+  uint64_t inspected = 0;
+  uint64_t produced = 0;
+  uint64_t cache_ops = 0;
+  while (!out->full() && cur_page_ < num_pages_) {
+    if (cur_page_ >= window_end_) {
+      const uint32_t window = std::min<uint32_t>(options_.read_ahead_pages,
+                                                 num_pages_ - window_end_);
+      engine->pool().FetchExtent(heap->file_id(), window_end_, window);
+      window_end_ += window;
     }
-    if (next_page_ >= num_pages_) return false;
-    const uint32_t window =
-        std::min<uint32_t>(options_.read_ahead_pages, num_pages_ - next_page_);
-    engine->pool().FetchExtent(heap->file_id(), next_page_, window);
-    for (uint32_t i = 0; i < window; ++i) {
-      const PageId pid = next_page_ + i;
-      const Page& page = engine->storage().GetPage(heap->file_id(), pid);
-      ++stats_.heap_pages_probed;
-      for (uint16_t s = 0; s < page.num_slots(); ++s) {
-        uint32_t size = 0;
-        const uint8_t* data = page.GetTuple(s, &size);
-        ++stats_.tuples_inspected;
-        engine->cpu().ChargeInspect();
-        const int64_t key =
-            schema.DeserializeColumn(data, size, predicate_.column).AsInt64();
-        if (!predicate_.MatchesKey(key)) continue;
-        Tuple tuple = schema.Deserialize(data, size);
-        if (predicate_.residual && !predicate_.residual(tuple)) continue;
-        // Suppress tuples already produced by the index phase.
-        engine->cpu().ChargeCacheOp();
-        if (produced_.Contains(Tid{pid, s})) continue;
-        engine->cpu().ChargeProduce();
-        pending_.push_back(std::move(tuple));
+    const Page& page = engine->storage().GetPage(heap->file_id(), cur_page_);
+    if (cur_slot_ == 0) ++stats_.heap_pages_probed;
+    const uint16_t num_slots = page.num_slots();
+    while (cur_slot_ < num_slots && !out->full()) {
+      const SlotId s = cur_slot_++;
+      uint32_t size = 0;
+      const uint8_t* data = page.GetTuple(s, &size);
+      ++inspected;
+      const int64_t key =
+          schema.ReadInt64Column(data, size, predicate_.column);
+      if (!predicate_.MatchesKey(key)) continue;
+      Tuple* slot = out->AppendSlot();
+      schema.DeserializeInto(data, size, slot);
+      if (predicate_.residual && !predicate_.residual(*slot)) {
+        out->PopLast();
+        continue;
       }
+      // Suppress tuples already produced by the index phase.
+      ++cache_ops;
+      if (produced_.Contains(Tid{cur_page_, s})) {
+        out->PopLast();
+        continue;
+      }
+      ++produced;
     }
-    next_page_ += window;
+    if (cur_slot_ >= num_slots) {
+      ++cur_page_;
+      cur_slot_ = 0;
+    }
   }
+  stats_.tuples_inspected += inspected;
+  stats_.tuples_produced += produced;
+  engine->cpu().ChargeInspect(inspected);
+  engine->cpu().ChargeCacheOp(cache_ops);
+  engine->cpu().ChargeProduce(produced);
 }
 
-bool SwitchScan::Next(Tuple* out) {
+bool SwitchScan::NextBatchImpl(TupleBatch* out) {
   if (!switched_) {
-    if (NextFromIndex(out)) return true;
+    IndexPhase(out);
+    // Keep the batch from the index phase even if the switch just fired; the
+    // full scan continues in the next call.
+    if (!out->empty()) return true;
     if (!switched_) return false;  // Index phase finished without violation.
   }
-  return NextFromFullScan(out);
+  FullScanPhase(out);
+  return !out->empty();
 }
 
 }  // namespace smoothscan

@@ -8,7 +8,6 @@
 #ifndef SMOOTHSCAN_ACCESS_SWITCH_SCAN_H_
 #define SMOOTHSCAN_ACCESS_SWITCH_SCAN_H_
 
-#include <deque>
 #include <optional>
 
 #include "access/access_path.h"
@@ -30,15 +29,21 @@ class SwitchScan : public AccessPath {
   SwitchScan(const BPlusTree* index, ScanPredicate predicate,
              SwitchScanOptions options);
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
   const char* name() const override { return "SwitchScan"; }
 
   bool switched() const { return switched_; }
 
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
  private:
-  bool NextFromIndex(Tuple* out);
-  bool NextFromFullScan(Tuple* out);
+  /// Index phase: appends until the batch is full, the range ends, or the
+  /// estimate is violated (which flips `switched_`).
+  void IndexPhase(TupleBatch* out);
+  /// Post-switch full-scan phase.
+  void FullScanPhase(TupleBatch* out);
 
   const BPlusTree* index_;
   ScanPredicate predicate_;
@@ -48,9 +53,11 @@ class SwitchScan : public AccessPath {
   TupleIdCache produced_;
   bool switched_ = false;
 
-  PageId next_page_ = 0;
+  // Full-scan cursor (see FullScan).
+  PageId cur_page_ = 0;
+  uint16_t cur_slot_ = 0;
+  PageId window_end_ = 0;
   PageId num_pages_ = 0;
-  std::deque<Tuple> pending_;
 };
 
 }  // namespace smoothscan

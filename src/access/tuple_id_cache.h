@@ -22,6 +22,7 @@ class TupleIdCache {
   void Insert(Tid tid) { set_.insert(Pack(tid)); }
   bool Contains(Tid tid) const { return set_.count(Pack(tid)) > 0; }
   size_t size() const { return set_.size(); }
+  void Clear() { set_.clear(); }
 
  private:
   static uint64_t Pack(Tid tid) {

@@ -23,19 +23,17 @@ int Value::Compare(const Value& other) const {
   switch (type_) {
     case ValueType::kInt64:
     case ValueType::kDate: {
-      const int64_t a = std::get<int64_t>(rep_);
-      const int64_t b = std::get<int64_t>(other.rep_);
+      const int64_t a = rep_.i;
+      const int64_t b = other.rep_.i;
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case ValueType::kDouble: {
-      const double a = std::get<double>(rep_);
-      const double b = std::get<double>(other.rep_);
+      const double a = rep_.d;
+      const double b = other.rep_.d;
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case ValueType::kString: {
-      const std::string& a = std::get<std::string>(rep_);
-      const std::string& b = std::get<std::string>(other.rep_);
-      const int cmp = a.compare(b);
+      const int cmp = rep_.s->compare(*other.rep_.s);
       return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
     }
   }
@@ -45,20 +43,20 @@ int Value::Compare(const Value& other) const {
 std::string Value::ToString() const {
   switch (type_) {
     case ValueType::kInt64:
-      return std::to_string(std::get<int64_t>(rep_));
+      return std::to_string(rep_.i);
     case ValueType::kDate: {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "date(%lld)",
-                    static_cast<long long>(std::get<int64_t>(rep_)));
+                    static_cast<long long>(rep_.i));
       return buf;
     }
     case ValueType::kDouble: {
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(rep_));
+      std::snprintf(buf, sizeof(buf), "%.6g", rep_.d);
       return buf;
     }
     case ValueType::kString:
-      return std::get<std::string>(rep_);
+      return *rep_.s;
   }
   return "?";
 }

@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <compare>
 #include <string>
-#include <variant>
 
 #include "common/status.h"
 
@@ -54,50 +53,135 @@ inline uint32_t FixedWidth(ValueType type) {
 }
 
 /// A typed runtime value. Used at the executor boundary; the storage layer
-/// serializes values into page bytes (see storage/tuple.h).
+/// serializes values into page bytes (see storage/schema.h).
+///
+/// Representation: a hand-rolled 16-byte tagged union rather than
+/// std::variant. Numeric values (the overwhelming majority in every scan hot
+/// loop) copy as two register stores with no alternative dispatch; strings
+/// live behind an owned heap pointer. This halves tuple memory traffic and
+/// keeps batch decode at hardware speed.
 class Value {
  public:
-  Value() : rep_(int64_t{0}), type_(ValueType::kInt64) {}
+  Value() : type_(ValueType::kInt64) { rep_.i = 0; }
 
-  static Value Int64(int64_t v) { return Value(v, ValueType::kInt64); }
-  static Value Double(double v) { return Value(v, ValueType::kDouble); }
+  static Value Int64(int64_t v) {
+    Value out(ValueType::kInt64);
+    out.rep_.i = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out(ValueType::kDouble);
+    out.rep_.d = v;
+    return out;
+  }
   static Value String(std::string v) {
-    return Value(std::move(v), ValueType::kString);
+    Value out(ValueType::kString);
+    out.rep_.s = new std::string(std::move(v));
+    return out;
   }
   /// `days` is days since the epoch.
-  static Value Date(int64_t days) { return Value(days, ValueType::kDate); }
+  static Value Date(int64_t days) {
+    Value out(ValueType::kDate);
+    out.rep_.i = days;
+    return out;
+  }
+
+  Value(const Value& other) : rep_(other.rep_), type_(other.type_) {
+    if (type_ == ValueType::kString) rep_.s = new std::string(*other.rep_.s);
+  }
+  Value(Value&& other) noexcept : rep_(other.rep_), type_(other.type_) {
+    other.rep_.i = 0;
+    other.type_ = ValueType::kInt64;
+  }
+  Value& operator=(const Value& other) {
+    if (this == &other) return *this;
+    if (type_ == ValueType::kString) {
+      if (other.type_ == ValueType::kString) {
+        *rep_.s = *other.rep_.s;  // Reuse the existing string's storage.
+        return *this;
+      }
+      delete rep_.s;
+    }
+    type_ = other.type_;
+    rep_ = other.rep_;
+    if (type_ == ValueType::kString) rep_.s = new std::string(*other.rep_.s);
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this == &other) return *this;
+    if (type_ == ValueType::kString) delete rep_.s;
+    rep_ = other.rep_;
+    type_ = other.type_;
+    other.rep_.i = 0;
+    other.type_ = ValueType::kInt64;
+    return *this;
+  }
+  ~Value() {
+    if (type_ == ValueType::kString) delete rep_.s;
+  }
 
   ValueType type() const { return type_; }
 
+  /// In-place numeric mutators for batch decode: overwrite this value
+  /// without constructing a temporary.
+  void SetInt64(int64_t v) {
+    if (type_ == ValueType::kString) delete rep_.s;
+    type_ = ValueType::kInt64;
+    rep_.i = v;
+  }
+  void SetDate(int64_t days) {
+    if (type_ == ValueType::kString) delete rep_.s;
+    type_ = ValueType::kDate;
+    rep_.i = days;
+  }
+  void SetDouble(double v) {
+    if (type_ == ValueType::kString) delete rep_.s;
+    type_ = ValueType::kDouble;
+    rep_.d = v;
+  }
+
   int64_t AsInt64() const {
     SMOOTHSCAN_CHECK(type_ == ValueType::kInt64 || type_ == ValueType::kDate);
-    return std::get<int64_t>(rep_);
+    return rep_.i;
   }
   double AsDouble() const {
     SMOOTHSCAN_CHECK(type_ == ValueType::kDouble);
-    return std::get<double>(rep_);
+    return rep_.d;
   }
   const std::string& AsString() const {
     SMOOTHSCAN_CHECK(type_ == ValueType::kString);
-    return std::get<std::string>(rep_);
+    return *rep_.s;
   }
 
   /// Total order within a type; comparing values of different types aborts.
   int Compare(const Value& other) const;
 
   bool operator==(const Value& other) const {
-    return type_ == other.type_ && rep_ == other.rep_;
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case ValueType::kInt64:
+      case ValueType::kDate:
+        return rep_.i == other.rep_.i;
+      case ValueType::kDouble:
+        return rep_.d == other.rep_.d;
+      case ValueType::kString:
+        return *rep_.s == *other.rep_.s;
+    }
+    return false;
   }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
 
   std::string ToString() const;
 
  private:
-  Value(int64_t v, ValueType t) : rep_(v), type_(t) {}
-  Value(double v, ValueType t) : rep_(v), type_(t) {}
-  Value(std::string v, ValueType t) : rep_(std::move(v)), type_(t) {}
+  explicit Value(ValueType t) : type_(t) {}
 
-  std::variant<int64_t, double, std::string> rep_;
+  union Rep {
+    int64_t i;
+    double d;
+    std::string* s;
+  };
+  Rep rep_;
   ValueType type_;
 };
 

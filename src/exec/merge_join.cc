@@ -11,15 +11,31 @@ MergeJoinOp::MergeJoinOp(Engine* engine, std::unique_ptr<Operator> left,
       left_key_col_(left_key_col),
       right_key_col_(right_key_col) {}
 
-Status MergeJoinOp::Open() {
+Status MergeJoinOp::OpenImpl() {
   SMOOTHSCAN_RETURN_IF_ERROR(left_->Open());
   SMOOTHSCAN_RETURN_IF_ERROR(right_->Open());
   right_group_.clear();
   group_valid_ = false;
   group_idx_ = 0;
+  // Reset validity before the first advances: a stale *_valid_ from a
+  // previous Open would make AdvanceLeft/Right compare the new stream's
+  // first key against the old run's last key and abort.
+  left_valid_ = false;
+  right_valid_ = false;
   left_valid_ = AdvanceLeft();
   right_valid_ = AdvanceRight();
   return Status::OK();
+}
+
+bool MergeJoinOp::NextBatchImpl(TupleBatch* out) {
+  uint64_t produced = 0;
+  Tuple row;
+  while (!out->full() && NextRow(&row)) {
+    ++produced;
+    out->Append(std::move(row));
+  }
+  engine_->cpu().ChargeProduce(produced);
+  return !out->empty();
 }
 
 bool MergeJoinOp::AdvanceLeft() {
@@ -51,7 +67,7 @@ void MergeJoinOp::CollectRightGroup(int64_t key) {
   }
 }
 
-bool MergeJoinOp::Next(Tuple* out) {
+bool MergeJoinOp::NextRow(Tuple* out) {
   while (true) {
     // Emit pending (left_row_, right_group_) pairs.
     if (group_valid_ && left_valid_ &&
@@ -60,7 +76,6 @@ bool MergeJoinOp::Next(Tuple* out) {
       *out = left_row_;
       const Tuple& r = right_group_[group_idx_++];
       out->insert(out->end(), r.begin(), r.end());
-      engine_->cpu().ChargeProduce();
       return true;
     }
     if (group_valid_ && left_valid_ &&

@@ -24,15 +24,22 @@ class MergeJoinOp : public Operator {
               std::unique_ptr<Operator> right, int left_key_col,
               int right_key_col);
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override {
+  const char* name() const override { return "MergeJoin"; }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override {
+    right_group_.clear();
     left_->Close();
     right_->Close();
   }
-  const char* name() const override { return "MergeJoin"; }
 
  private:
+  /// One merge step: produces the next joined row, or false at end. The
+  /// sides are pulled through their Next() adapters (which are themselves
+  /// batch-backed); output is batched by NextBatchImpl.
+  bool NextRow(Tuple* out);
   bool AdvanceLeft();
   bool AdvanceRight();
   /// Collects the full run of right tuples equal to `key` into right_group_.

@@ -6,12 +6,12 @@ MorphingIndexJoinOp::MorphingIndexJoinOp(std::unique_ptr<Operator> outer,
                                          const BPlusTree* inner_index,
                                          int outer_key_col,
                                          MorphingIndexJoinOptions options)
-    : outer_(std::move(outer)),
+    : outer_op_(std::move(outer)),
       inner_index_(inner_index),
       outer_key_col_(outer_key_col),
       options_(options) {}
 
-Status MorphingIndexJoinOp::Open() {
+Status MorphingIndexJoinOp::OpenImpl() {
   mstats_ = MorphingJoinStats();
   cache_.clear();
   complete_keys_.clear();
@@ -19,7 +19,8 @@ Status MorphingIndexJoinOp::Open() {
       std::make_unique<PageIdCache>(inner_index_->heap()->num_pages());
   matches_ = nullptr;
   match_idx_ = 0;
-  return outer_->Open();
+  outer_.Reset();
+  return outer_op_->Open();
 }
 
 void MorphingIndexJoinOp::HarvestPage(PageId pid) {
@@ -67,21 +68,23 @@ const std::vector<Tuple>& MorphingIndexJoinOp::CompleteKey(int64_t key) {
   return it == cache_.end() ? kEmpty : it->second;
 }
 
-bool MorphingIndexJoinOp::Next(Tuple* out) {
+bool MorphingIndexJoinOp::NextBatchImpl(TupleBatch* out) {
   const HeapFile* heap = inner_index_->heap();
   Engine* engine = heap->engine();
-  while (true) {
+  uint64_t produced = 0;
+  while (!out->full()) {
     if (matches_ != nullptr && match_idx_ < matches_->size()) {
-      *out = probe_;
+      Tuple joined = outer_.row();
       const Tuple& inner = (*matches_)[match_idx_++];
-      out->insert(out->end(), inner.begin(), inner.end());
-      engine->cpu().ChargeProduce();
-      return true;
+      joined.insert(joined.end(), inner.begin(), inner.end());
+      out->Append(std::move(joined));
+      ++produced;
+      continue;
     }
     matches_ = nullptr;
-    if (!outer_->Next(&probe_)) return false;
+    if (!outer_.Advance(outer_op_.get())) break;
     ++mstats_.probes;
-    const int64_t key = probe_[outer_key_col_].AsInt64();
+    const int64_t key = outer_.row()[outer_key_col_].AsInt64();
 
     if (options_.enable_harvesting) {
       const std::vector<Tuple>& m = CompleteKey(key);
@@ -94,15 +97,19 @@ bool MorphingIndexJoinOp::Next(Tuple* out) {
     // Plain INLJ baseline: one heap look-up per matching entry, no caching.
     ++mstats_.index_descents;
     plain_matches_.clear();
+    uint64_t inspected = 0;
     for (BPlusTree::Iterator it = inner_index_->Seek(key);
          it.Valid() && it.key() == key; it.Next()) {
       plain_matches_.push_back(heap->Read(it.tid()));
-      engine->cpu().ChargeInspect();
+      ++inspected;
     }
+    engine->cpu().ChargeInspect(inspected);
     if (plain_matches_.empty()) continue;
     matches_ = &plain_matches_;
     match_idx_ = 0;
   }
+  engine->cpu().ChargeProduce(produced);
+  return !out->empty();
 }
 
 }  // namespace smoothscan

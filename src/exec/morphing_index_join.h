@@ -54,12 +54,22 @@ class MorphingIndexJoinOp : public Operator {
                       const BPlusTree* inner_index, int outer_key_col,
                       MorphingIndexJoinOptions options = {});
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override { outer_->Close(); }
   const char* name() const override { return "MorphingIndexJoin"; }
 
   const MorphingJoinStats& morph_stats() const { return mstats_; }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override {
+    cache_.clear();
+    complete_keys_.clear();
+    harvested_.reset();
+    matches_ = nullptr;  // Would otherwise dangle into the cleared cache_.
+    plain_matches_.clear();
+    outer_.Reset();
+    outer_op_->Close();
+  }
 
  private:
   /// Ensures every inner tuple with `key` is cached and the key is marked
@@ -68,7 +78,7 @@ class MorphingIndexJoinOp : public Operator {
   /// Fetches inner heap page `pid` and caches all its tuples by join key.
   void HarvestPage(PageId pid);
 
-  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> outer_op_;
   const BPlusTree* inner_index_;
   int outer_key_col_;
   MorphingIndexJoinOptions options_;
@@ -79,7 +89,7 @@ class MorphingIndexJoinOp : public Operator {
   std::unique_ptr<PageIdCache> harvested_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_idx_ = 0;
-  Tuple probe_;
+  BatchCursor outer_;  ///< Probe-side batch cursor.
   std::vector<Tuple> plain_matches_;  // INLJ mode scratch.
 };
 

@@ -1,0 +1,42 @@
+#include "exec/operator.h"
+
+namespace smoothscan {
+
+Status Operator::Open() {
+  carry_.Reset();
+  return OpenImpl();
+}
+
+bool Operator::NextBatch(TupleBatch* out) {
+  return carry_.NextBatch(out,
+                          [this](TupleBatch* b) { return NextBatchImpl(b); });
+}
+
+bool Operator::Next(Tuple* out) {
+  return carry_.Next(out,
+                     [this](TupleBatch* b) { return NextBatchImpl(b); });
+}
+
+void Operator::Close() {
+  carry_.MarkClosed();
+  CloseImpl();
+}
+
+uint64_t Drain(Operator* op, std::vector<Tuple>* out) {
+  return DrainBatched(op, out, kDefaultBatchSize);
+}
+
+uint64_t DrainBatched(Operator* op, std::vector<Tuple>* out,
+                      size_t batch_size) {
+  TupleBatch batch(batch_size);
+  uint64_t n = 0;
+  while (op->NextBatch(&batch)) {
+    n += batch.size();
+    if (out != nullptr) {
+      for (size_t i = 0; i < batch.size(); ++i) out->push_back(batch.Take(i));
+    }
+  }
+  return n;
+}
+
+}  // namespace smoothscan

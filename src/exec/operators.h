@@ -1,5 +1,8 @@
 // Concrete operators: access-path adapter, filter, project, sort, limit,
-// hash join, index-nested-loops join and hash aggregation.
+// hash join, index-nested-loops join and hash aggregation — all batch-first.
+// FilterOp uses the batch's selection vector (no row is copied to drop a
+// row); pipeline-breaking operators (sort, aggregate, hash-join build)
+// consume their children batch-at-a-time.
 
 #ifndef SMOOTHSCAN_EXEC_OPERATORS_H_
 #define SMOOTHSCAN_EXEC_OPERATORS_H_
@@ -16,21 +19,27 @@
 
 namespace smoothscan {
 
-/// Adapts an AccessPath (table leaf) into the operator tree.
+/// Adapts an AccessPath (table leaf) into the operator tree. Batches flow
+/// through without re-buffering.
 class ScanOp : public Operator {
  public:
   explicit ScanOp(std::unique_ptr<AccessPath> path) : path_(std::move(path)) {}
-  Status Open() override { return path_->Open(); }
-  bool Next(Tuple* out) override { return path_->Next(out); }
-  void Close() override { path_->Close(); }
   const char* name() const override { return path_->name(); }
   const AccessPath* path() const { return path_.get(); }
+
+ protected:
+  Status OpenImpl() override { return path_->Open(); }
+  bool NextBatchImpl(TupleBatch* out) override {
+    return path_->NextBatch(out);
+  }
+  void CloseImpl() override { path_->Close(); }
 
  private:
   std::unique_ptr<AccessPath> path_;
 };
 
-/// Filters tuples by an arbitrary predicate.
+/// Filters tuples by an arbitrary predicate, marking survivors in the
+/// batch's selection vector.
 class FilterOp : public Operator {
  public:
   FilterOp(Engine* engine, std::unique_ptr<Operator> child,
@@ -39,10 +48,12 @@ class FilterOp : public Operator {
         child_(std::move(child)),
         predicate_(std::move(predicate)) {}
 
-  Status Open() override { return child_->Open(); }
-  bool Next(Tuple* out) override;
-  void Close() override { child_->Close(); }
   const char* name() const override { return "Filter"; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   Engine* engine_;
@@ -56,10 +67,12 @@ class ProjectOp : public Operator {
   ProjectOp(std::unique_ptr<Operator> child, std::vector<int> columns)
       : child_(std::move(child)), columns_(std::move(columns)) {}
 
-  Status Open() override { return child_->Open(); }
-  bool Next(Tuple* out) override;
-  void Close() override { child_->Close(); }
   const char* name() const override { return "Project"; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -73,10 +86,12 @@ class SortOp : public Operator {
          std::function<bool(const Tuple&, const Tuple&)> less)
       : engine_(engine), child_(std::move(child)), less_(std::move(less)) {}
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override { child_->Close(); }
   const char* name() const override { return "Sort"; }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
 
  private:
   Engine* engine_;
@@ -92,18 +107,23 @@ class LimitOp : public Operator {
   LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
       : child_(std::move(child)), limit_(limit) {}
 
-  Status Open() override {
+  const char* name() const override { return "Limit"; }
+
+ protected:
+  Status OpenImpl() override {
     emitted_ = 0;
     return child_->Open();
   }
-  bool Next(Tuple* out) override {
+  bool NextBatchImpl(TupleBatch* out) override {
     if (emitted_ >= limit_) return false;
-    if (!child_->Next(out)) return false;
-    ++emitted_;
-    return true;
+    if (!child_->NextBatch(out)) return false;
+    if (out->size() > limit_ - emitted_) {
+      out->Truncate(static_cast<size_t>(limit_ - emitted_));
+    }
+    emitted_ += out->size();
+    return !out->empty();
   }
-  void Close() override { child_->Close(); }
-  const char* name() const override { return "Limit"; }
+  void CloseImpl() override { child_->Close(); }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -124,13 +144,18 @@ class HashJoinOp : public Operator {
         left_key_col_(left_key_col),
         right_key_col_(right_key_col) {}
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override {
+  const char* name() const override { return "HashJoin"; }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override {
+    table_.clear();
+    matches_ = nullptr;
+    probe_.Reset();
     left_->Close();
     right_->Close();
   }
-  const char* name() const override { return "HashJoin"; }
 
  private:
   Engine* engine_;
@@ -140,7 +165,8 @@ class HashJoinOp : public Operator {
   int right_key_col_;
 
   std::unordered_map<int64_t, std::vector<Tuple>> table_;
-  Tuple probe_;
+  // Probe-side batch cursor and the match run of the current probe row.
+  BatchCursor probe_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_idx_ = 0;
 };
@@ -153,22 +179,32 @@ class IndexNestedLoopJoinOp : public Operator {
  public:
   IndexNestedLoopJoinOp(std::unique_ptr<Operator> outer,
                         const BPlusTree* inner_index, int outer_key_col)
-      : outer_(std::move(outer)),
+      : outer_op_(std::move(outer)),
         inner_index_(inner_index),
         outer_key_col_(outer_key_col) {}
 
-  Status Open() override {
-    pending_.clear();
-    return outer_->Open();
-  }
-  bool Next(Tuple* out) override;
-  void Close() override { outer_->Close(); }
   const char* name() const override { return "IndexNLJoin"; }
 
+ protected:
+  Status OpenImpl() override {
+    pending_.clear();
+    pending_idx_ = 0;
+    outer_.Reset();
+    return outer_op_->Open();
+  }
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override {
+    pending_.clear();
+    pending_.shrink_to_fit();
+    outer_.Reset();
+    outer_op_->Close();
+  }
+
  private:
-  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> outer_op_;
   const BPlusTree* inner_index_;
   int outer_key_col_;
+  BatchCursor outer_;
   std::vector<Tuple> pending_;
   size_t pending_idx_ = 0;
 };
@@ -195,10 +231,12 @@ class HashAggregateOp : public Operator {
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)) {}
 
-  Status Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override { child_->Close(); }
   const char* name() const override { return "HashAggregate"; }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
 
  private:
   struct GroupState {
@@ -206,6 +244,8 @@ class HashAggregateOp : public Operator {
     std::vector<double> acc;
     std::vector<uint64_t> counts;
   };
+
+  void Accumulate(const Tuple& t, std::unordered_map<std::string, size_t>* index);
 
   Engine* engine_;
   std::unique_ptr<Operator> child_;

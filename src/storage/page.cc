@@ -8,8 +8,6 @@ Page::Page(uint32_t page_size) : bytes_(page_size, 0) {
   WriteU32(2, kHeaderSize);   // data_end
 }
 
-uint16_t Page::num_slots() const { return ReadU16(0); }
-
 uint32_t Page::free_space() const {
   const uint32_t slots_begin = page_size() - kSlotSize * num_slots();
   return slots_begin - data_end();
@@ -31,13 +29,6 @@ Result<SlotId> Page::Insert(const uint8_t* data, uint32_t size) {
   WriteU16(0, static_cast<uint16_t>(slot + 1));
   WriteU32(2, off + size);
   return static_cast<SlotId>(slot);
-}
-
-const uint8_t* Page::GetTuple(SlotId slot, uint32_t* size) const {
-  SMOOTHSCAN_CHECK(slot < num_slots());
-  const uint32_t off = ReadU16(SlotOffset(slot));
-  *size = ReadU16(SlotOffset(slot) + 2);
-  return bytes_.data() + off;
 }
 
 }  // namespace smoothscan

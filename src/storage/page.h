@@ -35,10 +35,16 @@ class Page {
   /// True when a tuple of `size` bytes fits (data + one slot entry).
   bool Fits(uint32_t size) const;
 
-  uint16_t num_slots() const;
+  uint16_t num_slots() const { return ReadU16(0); }
 
   /// Pointer to the serialized bytes of `slot`. `size` receives the length.
-  const uint8_t* GetTuple(SlotId slot, uint32_t* size) const;
+  /// Inline: this sits in the per-slot hot loop of every scan.
+  const uint8_t* GetTuple(SlotId slot, uint32_t* size) const {
+    SMOOTHSCAN_CHECK(slot < num_slots());
+    const uint32_t off = ReadU16(SlotOffset(slot));
+    *size = ReadU16(SlotOffset(slot) + 2);
+    return bytes_.data() + off;
+  }
 
   uint32_t page_size() const { return static_cast<uint32_t>(bytes_.size()); }
   uint32_t free_space() const;

@@ -1,32 +1,47 @@
 #include "storage/schema.h"
 
+#include <bit>
 #include <cstring>
 
 namespace smoothscan {
 
 namespace {
 
+// Serialized integers are little-endian. On little-endian hosts (the only
+// targets we build for today) a plain memcpy load/store compiles to a single
+// mov — the byte-wise fallback keeps big-endian hosts correct.
+
 void PutU32(std::vector<uint8_t>* out, uint32_t v) {
-  out->push_back(static_cast<uint8_t>(v));
-  out->push_back(static_cast<uint8_t>(v >> 8));
-  out->push_back(static_cast<uint8_t>(v >> 16));
-  out->push_back(static_cast<uint8_t>(v >> 24));
+  if constexpr (std::endian::native == std::endian::little) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    out->insert(out->end(), p, p + 4);
+  } else {
+    for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
 }
 
 void PutU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  if constexpr (std::endian::native == std::endian::little) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    out->insert(out->end(), p, p + 8);
+  } else {
+    for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
 }
 
 uint32_t GetU32(const uint8_t* p) {
-  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  if constexpr (std::endian::native == std::endian::little) {
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  } else {
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  }
 }
 
-uint64_t GetU64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
-}
+uint64_t GetU64(const uint8_t* p) { return LoadU64LE(p); }
 
 }  // namespace
 
@@ -66,18 +81,26 @@ void Schema::Serialize(const Tuple& tuple, std::vector<uint8_t>* out) const {
 
 Tuple Schema::Deserialize(const uint8_t* data, uint32_t size) const {
   Tuple tuple;
-  tuple.reserve(columns_.size());
+  DeserializeInto(data, size, &tuple);
+  return tuple;
+}
+
+void Schema::DeserializeVarWidthInto(const uint8_t* data, uint32_t size,
+                                     Tuple* out) const {
+  out->resize(columns_.size());
   uint32_t off = 0;
+  size_t i = 0;
   for (const Column& col : columns_) {
+    Value& slot = (*out)[i++];
     switch (col.type) {
       case ValueType::kInt64:
         SMOOTHSCAN_CHECK(off + 8 <= size);
-        tuple.push_back(Value::Int64(static_cast<int64_t>(GetU64(data + off))));
+        slot = Value::Int64(static_cast<int64_t>(GetU64(data + off)));
         off += 8;
         break;
       case ValueType::kDate:
         SMOOTHSCAN_CHECK(off + 8 <= size);
-        tuple.push_back(Value::Date(static_cast<int64_t>(GetU64(data + off))));
+        slot = Value::Date(static_cast<int64_t>(GetU64(data + off)));
         off += 8;
         break;
       case ValueType::kDouble: {
@@ -85,7 +108,7 @@ Tuple Schema::Deserialize(const uint8_t* data, uint32_t size) const {
         const uint64_t bits = GetU64(data + off);
         double d;
         std::memcpy(&d, &bits, sizeof(d));
-        tuple.push_back(Value::Double(d));
+        slot = Value::Double(d);
         off += 8;
         break;
       }
@@ -94,26 +117,31 @@ Tuple Schema::Deserialize(const uint8_t* data, uint32_t size) const {
         const uint32_t len = GetU32(data + off);
         off += 4;
         SMOOTHSCAN_CHECK(off + len <= size);
-        tuple.push_back(Value::String(
-            std::string(reinterpret_cast<const char*>(data + off), len)));
+        slot = Value::String(
+            std::string(reinterpret_cast<const char*>(data + off), len));
         off += len;
         break;
       }
     }
   }
-  return tuple;
 }
 
 Value Schema::DeserializeColumn(const uint8_t* data, uint32_t size,
                                 size_t col) const {
   SMOOTHSCAN_CHECK(col < columns_.size());
   uint32_t off = 0;
-  for (size_t i = 0; i < col; ++i) {
-    if (smoothscan::IsFixedWidth(columns_[i].type)) {
-      off += 8;
-    } else {
-      SMOOTHSCAN_CHECK(off + 4 <= size);
-      off += 4 + GetU32(data + off);
+  if (fixed_width_) {
+    // Fast path: every column is 8 bytes, so the offset is direct — this is
+    // the per-tuple key check of every scan's hot loop.
+    off = static_cast<uint32_t>(col) * 8;
+  } else {
+    for (size_t i = 0; i < col; ++i) {
+      if (smoothscan::IsFixedWidth(columns_[i].type)) {
+        off += 8;
+      } else {
+        SMOOTHSCAN_CHECK(off + 4 <= size);
+        off += 4 + GetU32(data + off);
+      }
     }
   }
   switch (columns_[col].type) {
@@ -152,13 +180,6 @@ uint32_t Schema::SerializedSize(const Tuple& tuple) const {
     }
   }
   return size;
-}
-
-bool Schema::IsFixedWidth() const {
-  for (const Column& c : columns_) {
-    if (!smoothscan::IsFixedWidth(c.type)) return false;
-  }
-  return true;
 }
 
 Schema MakeIntSchema(size_t num_columns) {

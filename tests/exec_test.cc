@@ -16,16 +16,17 @@ namespace {
 class VectorSource : public Operator {
  public:
   explicit VectorSource(std::vector<Tuple> rows) : rows_(std::move(rows)) {}
-  Status Open() override {
+  const char* name() const override { return "VectorSource"; }
+
+ protected:
+  Status OpenImpl() override {
     next_ = 0;
     return Status::OK();
   }
-  bool Next(Tuple* out) override {
-    if (next_ >= rows_.size()) return false;
-    *out = rows_[next_++];
-    return true;
+  bool NextBatchImpl(TupleBatch* out) override {
+    while (next_ < rows_.size() && !out->full()) out->Append(rows_[next_++]);
+    return !out->empty();
   }
-  const char* name() const override { return "VectorSource"; }
 
  private:
   std::vector<Tuple> rows_;

@@ -46,16 +46,15 @@ class MorphingJoinTest : public ::testing::Test {
     for (int64_t k : keys) rows.push_back({Value::Int64(k)});
     struct Src : Operator {
       explicit Src(std::vector<Tuple> r) : rows(std::move(r)) {}
-      Status Open() override {
+      const char* name() const override { return "Src"; }
+      Status OpenImpl() override {
         i = 0;
         return Status::OK();
       }
-      bool Next(Tuple* out) override {
-        if (i >= rows.size()) return false;
-        *out = rows[i++];
-        return true;
+      bool NextBatchImpl(TupleBatch* out) override {
+        while (i < rows.size() && !out->full()) out->Append(rows[i++]);
+        return !out->empty();
       }
-      const char* name() const override { return "Src"; }
       std::vector<Tuple> rows;
       size_t i = 0;
     };

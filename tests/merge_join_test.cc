@@ -20,16 +20,17 @@ namespace {
 class VectorSource : public Operator {
  public:
   explicit VectorSource(std::vector<Tuple> rows) : rows_(std::move(rows)) {}
-  Status Open() override {
+  const char* name() const override { return "VectorSource"; }
+
+ protected:
+  Status OpenImpl() override {
     next_ = 0;
     return Status::OK();
   }
-  bool Next(Tuple* out) override {
-    if (next_ >= rows_.size()) return false;
-    *out = rows_[next_++];
-    return true;
+  bool NextBatchImpl(TupleBatch* out) override {
+    while (next_ < rows_.size() && !out->full()) out->Append(rows_[next_++]);
+    return !out->empty();
   }
-  const char* name() const override { return "VectorSource"; }
 
  private:
   std::vector<Tuple> rows_;
@@ -43,6 +44,26 @@ std::unique_ptr<Operator> SortedInts(std::vector<int64_t> keys) {
     rows.push_back({Value::Int64(keys[i]), Value::Int64(static_cast<int64_t>(i))});
   }
   return std::make_unique<VectorSource>(std::move(rows));
+}
+
+// Close()/re-Open must restart an identical stream even when the first run
+// left the ordered-input trackers mid-stream (regression: stale
+// left_last_key_ tripping the ordered-input check on the second Open).
+TEST(MergeJoinTest, CloseReopenRestartsStream) {
+  Engine engine;
+  MergeJoinOp join(&engine, SortedInts({5, 6, 7}), SortedInts({1, 2, 5}), 0,
+                   0);
+  auto drain = [&join]() {
+    SMOOTHSCAN_CHECK(join.Open().ok());
+    std::vector<Tuple> rows;
+    Drain(&join, &rows);
+    join.Close();
+    return rows;
+  };
+  const std::vector<Tuple> first = drain();
+  const std::vector<Tuple> second = drain();
+  ASSERT_EQ(first.size(), 1u);  // Key 5 matches.
+  ASSERT_EQ(first, second);
 }
 
 TEST(MergeJoinTest, BasicEquiJoin) {
