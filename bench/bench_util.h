@@ -7,6 +7,7 @@
 #ifndef SMOOTHSCAN_BENCH_BENCH_UTIL_H_
 #define SMOOTHSCAN_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -26,6 +27,8 @@ struct RunMetrics {
   uint64_t pages_read = 0;
   uint64_t bytes_read = 0;
   uint64_t tuples = 0;  ///< Tuples produced by the measured operator/query.
+  double wall_ms = 0.0;  ///< Real elapsed time of the measured body.
+  uint32_t threads = 1;  ///< Degree of parallelism of the measured run.
 };
 
 /// Runs `body` cold (buffer pool flushed, disk positions reset) and returns
@@ -36,7 +39,9 @@ RunMetrics MeasureCold(Engine* engine, Body&& body) {
   const IoStats io_before = engine->disk().stats();
   const double cpu_before = engine->cpu().time();
   RunMetrics m;
+  const auto wall_start = std::chrono::steady_clock::now();
   m.tuples = body();
+  const auto wall_end = std::chrono::steady_clock::now();
   const IoStats io = engine->disk().stats() - io_before;
   m.io_time = io.io_time;
   m.cpu_time = engine->cpu().time() - cpu_before;
@@ -46,6 +51,8 @@ RunMetrics MeasureCold(Engine* engine, Body&& body) {
   m.seq_ios = io.seq_ios;
   m.pages_read = io.pages_read;
   m.bytes_read = io.bytes_read;
+  m.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_start)
+                  .count();
   return m;
 }
 
@@ -61,6 +68,16 @@ RunMetrics MeasureScanBatched(Engine* engine, AccessPath* path,
 void PrintSweepHeader(const std::string& bench, const std::string& extra);
 void PrintSweepRow(double selectivity_percent, const std::string& series,
                    const RunMetrics& m);
+
+/// Machine-readable results: after OpenJson("fig05"), every PrintSweepRow /
+/// RecordRow lands in an in-memory table that CloseJson() (or process exit)
+/// writes to BENCH_fig05.json next to the binary — one row per measured
+/// series point with simulated cost, wall milliseconds and thread count, so
+/// the perf trajectory is diffable across PRs.
+void OpenJson(const std::string& bench_name);
+void RecordRow(const std::string& series, double selectivity_percent,
+               const RunMetrics& m);
+void CloseJson();
 
 }  // namespace smoothscan::bench
 

@@ -5,6 +5,7 @@ namespace smoothscan {
 Status AccessPath::Open() {
   stats_ = AccessPathStats();
   carry_.Reset();
+  ctx_ = ctx_override_ != nullptr ? *ctx_override_ : DefaultContext();
   return OpenImpl();
 }
 

@@ -20,11 +20,11 @@
 //     Mixing Next() and NextBatch() on one scan is supported; tuples buffered
 //     by the adapter are handed to NextBatch first so none is lost or
 //     duplicated.
-//   * Close() — releases scan state: drops buffer-pool references, index
-//     iterators, auxiliary caches and any buffered tuples. Idempotent, and
-//     safe to follow with a re-Open(). The simulation's buffer pool is
-//     unpinned by design (pages are owned by the StorageManager), so "release
-//     pins" means forgetting page references and cache structures.
+//   * Close() — releases scan state: drops PageGuard pins, index iterators,
+//     auxiliary caches and any buffered tuples. Idempotent, and safe to
+//     follow with a re-Open(). Page references obtained inside the scan are
+//     held as pinned PageGuards (never raw `const Page&`), so they stay valid
+//     against concurrent eviction until released here or at end of batch.
 //   * stats() — counters of the CURRENT Open() cycle (Open resets them).
 //     Read them before re-Open.
 //
@@ -40,6 +40,7 @@
 #include "common/batch_carry.h"
 #include "common/status.h"
 #include "common/tuple_batch.h"
+#include "storage/exec_context.h"
 #include "storage/schema.h"
 
 namespace smoothscan {
@@ -77,6 +78,12 @@ class AccessPath {
 
   const AccessPathStats& stats() const { return stats_; }
 
+  /// Redirects all page fetches and CPU charges of this scan to `ctx`
+  /// (morsel-driven execution charges each morsel's private stream). Must be
+  /// set before Open(); `ctx` must outlive the scan's open cycle. Pass null
+  /// to restore the default (engine) accounting.
+  void SetExecContext(const ExecContext* ctx) { ctx_override_ = ctx; }
+
  protected:
   /// Subclass hooks. NextBatchImpl appends to `out` (already cleared) and
   /// returns !out->empty(); it is never called again after returning false
@@ -85,10 +92,19 @@ class AccessPath {
   virtual bool NextBatchImpl(TupleBatch* out) = 0;
   virtual void CloseImpl() {}
 
+  /// The engine-owned context this path charges when none is injected.
+  virtual ExecContext DefaultContext() const = 0;
+
+  /// The active execution context (valid from Open() on). Stable address per
+  /// path instance, so index iterators may hold &ctx().
+  const ExecContext& ctx() const { return ctx_; }
+
   AccessPathStats stats_;
 
  private:
   BatchCarry carry_;  ///< Shared adapter buffering (see batch_carry.h).
+  const ExecContext* ctx_override_ = nullptr;
+  ExecContext ctx_;
 };
 
 }  // namespace smoothscan

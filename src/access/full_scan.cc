@@ -8,25 +8,30 @@ FullScan::FullScan(const HeapFile* heap, ScanPredicate predicate,
                    FullScanOptions options)
     : heap_(heap), predicate_(std::move(predicate)), options_(options) {
   SMOOTHSCAN_CHECK(options_.read_ahead_pages > 0);
+  SMOOTHSCAN_CHECK(options_.page_begin <= options_.page_end);
+}
+
+ExecContext FullScan::DefaultContext() const {
+  return EngineContext(heap_->engine());
 }
 
 Status FullScan::OpenImpl() {
-  cur_page_ = 0;
+  num_pages_ = std::min<PageId>(static_cast<PageId>(heap_->num_pages()),
+                                options_.page_end);
+  cur_page_ = std::min(options_.page_begin, num_pages_);
   cur_slot_ = 0;
-  window_end_ = 0;
-  num_pages_ = static_cast<PageId>(heap_->num_pages());
+  window_end_ = cur_page_;
   return Status::OK();
 }
 
 void FullScan::CloseImpl() {
-  // Forget the cursor; pages themselves are owned by the StorageManager and
-  // the buffer pool holds no pins, so there is nothing else to release.
+  // Forget the cursor; no pins outlive a NextBatch call.
   cur_page_ = num_pages_;
   cur_slot_ = 0;
 }
 
 bool FullScan::NextBatchImpl(TupleBatch* out) {
-  Engine* engine = heap_->engine();
+  const ExecContext& ctx = this->ctx();
   const Schema& schema = heap_->schema();
   const FileId file = heap_->file_id();
   const int key_col = predicate_.column;
@@ -43,10 +48,11 @@ bool FullScan::NextBatchImpl(TupleBatch* out) {
     if (cur_page_ >= window_end_) {
       const uint32_t window = std::min<uint32_t>(options_.read_ahead_pages,
                                                  num_pages_ - window_end_);
-      engine->pool().FetchExtent(file, window_end_, window);
+      ctx.pool->FetchExtent(file, window_end_, window);
       window_end_ += window;
     }
-    const Page& page = engine->storage().GetPage(file, cur_page_);
+    const PageGuard guard = ctx.pool->Pin(file, cur_page_);
+    const Page& page = *guard;
     if (cur_slot_ == 0) ++stats_.heap_pages_probed;
     const uint16_t num_slots = page.num_slots();
     uint16_t slot = cur_slot_;
@@ -73,8 +79,8 @@ bool FullScan::NextBatchImpl(TupleBatch* out) {
   out->set_filled(filled);
   stats_.tuples_inspected += inspected;
   stats_.tuples_produced += produced;
-  engine->cpu().ChargeInspect(inspected);
-  engine->cpu().ChargeProduce(produced);
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeProduce(produced);
   return !out->empty();
 }
 

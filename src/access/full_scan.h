@@ -16,6 +16,11 @@ namespace smoothscan {
 struct FullScanOptions {
   /// Pages fetched per I/O request (read-ahead window).
   uint32_t read_ahead_pages = 32;
+  /// Heap-page range [page_begin, page_end) to scan. The defaults cover the
+  /// whole file; morsel-driven execution restricts each worker's scan to its
+  /// page-range morsel.
+  PageId page_begin = 0;
+  PageId page_end = kInvalidPageId;
 };
 
 class FullScan : public AccessPath {
@@ -29,6 +34,7 @@ class FullScan : public AccessPath {
   Status OpenImpl() override;
   bool NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override;
+  ExecContext DefaultContext() const override;
 
  private:
   const HeapFile* heap_;

@@ -7,14 +7,18 @@ IndexScan::IndexScan(const BPlusTree* index, ScanPredicate predicate)
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
 }
 
+ExecContext IndexScan::DefaultContext() const {
+  return EngineContext(index_->heap()->engine());
+}
+
 Status IndexScan::OpenImpl() {
-  it_ = index_->Seek(predicate_.lo);
+  it_ = index_->Seek(predicate_.lo, &ctx());
   return Status::OK();
 }
 
 bool IndexScan::NextBatchImpl(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
-  Engine* engine = heap->engine();
+  const ExecContext& ctx = this->ctx();
   uint64_t inspected = 0;
   uint64_t produced = 0;
   while (!out->full() && it_->Valid() && it_->key() < predicate_.hi) {
@@ -22,7 +26,7 @@ bool IndexScan::NextBatchImpl(TupleBatch* out) {
     it_->Next();
     // One heap look-up per entry: random I/O unless the page happens to be
     // resident — exactly the pattern of Eq. (11).
-    Tuple tuple = heap->Read(tid);
+    Tuple tuple = heap->Read(tid, ctx);
     ++stats_.heap_pages_probed;
     ++inspected;
     if (predicate_.residual && !predicate_.residual(tuple)) continue;
@@ -31,8 +35,8 @@ bool IndexScan::NextBatchImpl(TupleBatch* out) {
   }
   stats_.tuples_inspected += inspected;
   stats_.tuples_produced += produced;
-  engine->cpu().ChargeInspect(inspected);
-  engine->cpu().ChargeProduce(produced);
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeProduce(produced);
   return !out->empty();
 }
 

@@ -26,6 +26,7 @@ class IndexScan : public AccessPath {
   Status OpenImpl() override;
   bool NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override { it_.reset(); }
+  ExecContext DefaultContext() const override;
 
  private:
   const BPlusTree* index_;

@@ -7,6 +7,7 @@
 #ifndef SMOOTHSCAN_ACCESS_PAGE_ID_CACHE_H_
 #define SMOOTHSCAN_ACCESS_PAGE_ID_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,40 @@ class PageIdCache {
  private:
   std::vector<bool> bits_;
   uint64_t count_ = 0;
+};
+
+/// The Page ID Cache shared by the workers of a parallel Smooth Scan: the
+/// same one-bit-per-page bitmap, packed into atomic words so concurrent
+/// marking is race-free. Morsel workers own disjoint page ranges, so relaxed
+/// ordering suffices — the bitmap is shared state, but no bit is contended;
+/// this is what keeps the parallel scan's behaviour deterministic (see the
+/// README threading-model notes).
+class ConcurrentPageIdCache {
+ public:
+  explicit ConcurrentPageIdCache(size_t num_pages)
+      : num_pages_(num_pages), words_((num_pages + 63) / 64) {}
+
+  /// Sets the page's bit; returns true when this call newly marked it.
+  bool Mark(PageId page) {
+    SMOOTHSCAN_CHECK(page < num_pages_);
+    const uint64_t bit = 1ULL << (page % 64);
+    const uint64_t prev =
+        words_[page / 64].fetch_or(bit, std::memory_order_relaxed);
+    return (prev & bit) == 0;
+  }
+
+  bool IsMarked(PageId page) const {
+    SMOOTHSCAN_CHECK(page < num_pages_);
+    return (words_[page / 64].load(std::memory_order_relaxed) &
+            (1ULL << (page % 64))) != 0;
+  }
+
+  size_t num_pages() const { return num_pages_; }
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_pages_;
+  std::vector<std::atomic<uint64_t>> words_;
 };
 
 }  // namespace smoothscan

@@ -1,0 +1,168 @@
+// ParallelScan: morsel-driven parallel execution of the access paths
+// (Leis et al.'s morsel model adapted to the paper's simulated substrate).
+//
+// A kernel decomposes its scan into a fixed list of morsels — page ranges or
+// key ranges, derived from the data alone, never from the worker count — plus
+// an optional serial prolog (index leaf walks, TID sorts, pre-switch index
+// phases). Workers pull morsels from a shared MorselSource and run each one
+// against a private MorselContext (its own simulated disk, buffer pool and
+// CPU meter: one logical access stream per morsel). Produced batches flow
+// through per-morsel output slots that the consumer drains in morsel order.
+//
+// Determinism: because the decomposition is DOP-independent and every
+// morsel's accounting is stream-local, the simulated cost of a parallel scan
+// is bit-identical at any degree of parallelism — contexts merge into the
+// engine in morsel order, fixing even the floating-point summation order.
+// For the page-range FullScan decomposition the per-morsel streams are seeded
+// at `page_begin - 1` (the position the serial scan would have), making the
+// parallel cost bit-identical to the *serial* scan as well. Wall-clock time
+// is the only thing the workers change.
+//
+// Ordering: workers emit morsel-locally in scan order, and the consumer sees
+// morsels in index order, so a page-range decomposition yields heap order and
+// a key-range decomposition yields index-key order — but order-*preserving*
+// configurations that need cross-morsel merges (SortScan/SmoothScan with
+// preserve_order) are serial-only and rejected by the factories.
+//
+// Run-to-completion: a started scan always executes every morsel, even when
+// the consumer falls behind or Closes mid-stream, and the per-morsel output
+// queues are unbounded — peak buffering is bounded by the result set, not by
+// a backpressure window. This is deliberate: cancelling or throttling workers
+// would make the charges of an abandoned run depend on scheduling, and the
+// whole design exists to keep simulated cost schedule-independent. Consumers
+// that need only a prefix of a huge result should bound the scan itself
+// (predicate or page range), not rely on early Close to shed work.
+
+#ifndef SMOOTHSCAN_ACCESS_PARALLEL_SCAN_H_
+#define SMOOTHSCAN_ACCESS_PARALLEL_SCAN_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "access/access_path.h"
+#include "access/full_scan.h"
+#include "access/morsel_source.h"
+#include "access/smooth_scan.h"
+#include "access/sort_scan.h"
+#include "access/switch_scan.h"
+#include "exec/task_scheduler.h"
+#include "storage/exec_context.h"
+
+namespace smoothscan {
+
+struct ParallelScanOptions {
+  /// Workers draining the morsel queue (1 = serial schedule, same cost).
+  uint32_t dop = 1;
+  /// Page-range morsel size; rounded to a multiple of the scan's read-ahead
+  /// window so parallel extent boundaries coincide with the serial scan's.
+  uint32_t morsel_pages = 128;
+  /// Cap on the key-range decomposition of index-driven scans.
+  uint32_t max_key_morsels = 32;
+  /// Optional shared worker pool; the scan owns a private one when null.
+  TaskScheduler* scheduler = nullptr;
+};
+
+/// The path-specific logic of a parallel scan. Plan() runs serially on the
+/// consumer thread against the planning stream; RunMorsel() runs once per
+/// morsel, concurrently, each call against its own stream.
+class ParallelScanKernel {
+ public:
+  using EmitFn = std::function<void(TupleBatch&&)>;
+
+  virtual ~ParallelScanKernel() = default;
+  virtual const char* name() const = 0;
+
+  /// Serial prolog: builds the morsel list; may emit prolog tuples and
+  /// accumulate prolog counters. Charged to the planning stream.
+  virtual std::vector<Morsel> Plan(const ExecContext& planning,
+                                   const EmitFn& emit,
+                                   AccessPathStats* stats) = 0;
+
+  /// Runs one morsel. Must touch only morsel-local and read-only state (plus
+  /// explicitly thread-safe shared structures); charges `ctx`.
+  virtual AccessPathStats RunMorsel(const Morsel& morsel,
+                                    const ExecContext& ctx,
+                                    const EmitFn& emit) = 0;
+};
+
+/// AccessPath adapter running a kernel on a worker pool (see file comment).
+/// Also usable as the source below a Gather exchange operator.
+class ParallelScan : public AccessPath {
+ public:
+  ParallelScan(Engine* engine, std::unique_ptr<ParallelScanKernel> kernel,
+               ParallelScanOptions options);
+  ~ParallelScan() override;
+
+  const char* name() const override { return kernel_->name(); }
+  uint32_t dop() const { return options_.dop; }
+  /// Valid after Open().
+  size_t num_morsels() const { return source_ != nullptr ? source_->size() : 0; }
+  const ParallelScanKernel* kernel() const { return kernel_.get(); }
+
+ protected:
+  Status OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+  ExecContext DefaultContext() const override;
+
+ private:
+  /// Per-slot output queue: slot 0 is the prolog, slot i+1 is morsel i.
+  struct Slot {
+    std::deque<TupleBatch> batches;
+    bool done = false;
+  };
+
+  TaskScheduler* scheduler();
+  void EmitTo(size_t slot, TupleBatch&& batch);
+  /// Waits for the workers and merges all stream accounting into the engine
+  /// (planning first, then morsels in index order). Idempotent per cycle.
+  void Finalize();
+
+  Engine* engine_;
+  std::unique_ptr<ParallelScanKernel> kernel_;
+  ParallelScanOptions options_;
+  std::unique_ptr<TaskScheduler> owned_scheduler_;
+
+  std::unique_ptr<MorselSource> source_;
+  std::unique_ptr<MorselContext> planning_;
+  std::vector<std::unique_ptr<MorselContext>> contexts_;
+  std::vector<AccessPathStats> morsel_stats_;
+  AccessPathStats prolog_stats_;
+  std::shared_ptr<TaskScheduler::TaskGroup> group_;
+  bool finalized_ = true;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  size_t emit_slot_ = 0;
+  TupleBatch pending_;
+  size_t pending_pos_ = 0;
+  bool has_pending_ = false;
+};
+
+/// Kernel factories. Each returns null for configurations whose semantics
+/// require a serial scan (order preservation, non-eager Smooth Scan
+/// triggers); callers fall back to the serial operator.
+std::unique_ptr<ParallelScan> MakeParallelFullScan(
+    const HeapFile* heap, ScanPredicate predicate, FullScanOptions scan_options,
+    ParallelScanOptions options);
+std::unique_ptr<ParallelScan> MakeParallelIndexScan(
+    const BPlusTree* index, ScanPredicate predicate,
+    ParallelScanOptions options);
+std::unique_ptr<ParallelScan> MakeParallelSortScan(
+    const BPlusTree* index, ScanPredicate predicate,
+    SortScanOptions scan_options, ParallelScanOptions options);
+std::unique_ptr<ParallelScan> MakeParallelSwitchScan(
+    const BPlusTree* index, ScanPredicate predicate,
+    SwitchScanOptions scan_options, ParallelScanOptions options);
+std::unique_ptr<ParallelScan> MakeParallelSmoothScan(
+    const BPlusTree* index, ScanPredicate predicate,
+    SmoothScanOptions scan_options, ParallelScanOptions options);
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ACCESS_PARALLEL_SCAN_H_

@@ -28,11 +28,51 @@ const char* MorphTriggerToString(MorphTrigger trigger) {
   return "?";
 }
 
+uint32_t MorphRegionStep(MorphPolicy policy, uint32_t region_pages,
+                         uint32_t max_region_pages, uint64_t pages_seen_before,
+                         uint64_t pages_with_results_before,
+                         uint64_t region_pages_seen,
+                         uint64_t region_result_pages, uint64_t* expansions,
+                         uint64_t* shrinks) {
+  const bool denser =
+      pages_seen_before == 0 ||
+      static_cast<double>(region_result_pages) *
+              static_cast<double>(pages_seen_before) >=
+          static_cast<double>(pages_with_results_before) *
+              static_cast<double>(region_pages_seen);
+  switch (policy) {
+    case MorphPolicy::kGreedy:
+      region_pages = std::min(region_pages * 2, max_region_pages);
+      ++*expansions;
+      break;
+    case MorphPolicy::kSelectivityIncrease:
+      if (denser) {
+        region_pages = std::min(region_pages * 2, max_region_pages);
+        ++*expansions;
+      }
+      break;
+    case MorphPolicy::kElastic:
+      if (denser) {
+        region_pages = std::min(region_pages * 2, max_region_pages);
+        ++*expansions;
+      } else {
+        region_pages = std::max(region_pages / 2, 1u);
+        ++*shrinks;
+      }
+      break;
+  }
+  return region_pages;
+}
+
 SmoothScan::SmoothScan(const BPlusTree* index, ScanPredicate predicate,
                        SmoothScanOptions options)
     : index_(index), predicate_(std::move(predicate)), options_(options) {
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
   SMOOTHSCAN_CHECK(options_.max_region_pages >= 1);
+}
+
+ExecContext SmoothScan::DefaultContext() const {
+  return EngineContext(index_->heap()->engine());
 }
 
 Status SmoothScan::OpenImpl() {
@@ -73,7 +113,7 @@ Status SmoothScan::OpenImpl() {
     result_cache_ = std::make_unique<ResultCache>(
         index_->RootSeparators(), index_->heap()->engine(), rc_options);
   }
-  it_ = index_->Seek(predicate_.lo);
+  it_ = index_->Seek(predicate_.lo, &ctx());
   // A zero pre-trigger bound (e.g. an optimizer estimate of 0 tuples) means
   // the very first tuple already violates it: morph immediately.
   MaybeTrigger();
@@ -104,17 +144,17 @@ void SmoothScan::MaybeTrigger() {
 
 void SmoothScan::Mode0Step(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
-  Engine* engine = heap->engine();
+  const ExecContext& ctx = this->ctx();
   const Tid tid = it_->tid();
   it_->Next();
-  Tuple tuple = heap->Read(tid);  // Single-tuple look-up: random I/O.
+  Tuple tuple = heap->Read(tid, ctx);  // Single-tuple look-up: random I/O.
   ++stats_.heap_pages_probed;
   ++stats_.tuples_inspected;
-  engine->cpu().ChargeInspect();
+  ctx.cpu->ChargeInspect();
   if (predicate_.residual && !predicate_.residual(tuple)) return;
   if (tuple_cache_ != nullptr) {
     tuple_cache_->Insert(tid);
-    engine->cpu().ChargeCacheOp();
+    ctx.cpu->ChargeCacheOp();
   } else {
     // Positional dedup: the index is strictly (key, Tid)-ordered, so the
     // last produced position identifies everything produced so far.
@@ -122,7 +162,7 @@ void SmoothScan::Mode0Step(TupleBatch* out) {
     m0_last_key_ = tuple[predicate_.column].AsInt64();
     m0_last_tid_ = tid;
   }
-  engine->cpu().ChargeProduce();
+  ctx.cpu->ChargeProduce();
   ++stats_.tuples_produced;
   ++sstats_.card_mode0;
   out->Append(std::move(tuple));
@@ -132,38 +172,15 @@ void SmoothScan::Mode0Step(TupleBatch* out) {
 void SmoothScan::UpdatePolicy(uint64_t region_pages,
                               uint64_t region_result_pages) {
   if (!options_.enable_flattening) return;
-  const bool denser =
-      sstats_.pages_seen == 0 ||
-      static_cast<double>(region_result_pages) *
-              static_cast<double>(sstats_.pages_seen) >=
-          static_cast<double>(sstats_.pages_with_results) *
-              static_cast<double>(region_pages);
-  switch (active_policy_) {
-    case MorphPolicy::kGreedy:
-      region_pages_ = std::min(region_pages_ * 2, options_.max_region_pages);
-      ++sstats_.expansions;
-      break;
-    case MorphPolicy::kSelectivityIncrease:
-      if (denser) {
-        region_pages_ = std::min(region_pages_ * 2, options_.max_region_pages);
-        ++sstats_.expansions;
-      }
-      break;
-    case MorphPolicy::kElastic:
-      if (denser) {
-        region_pages_ = std::min(region_pages_ * 2, options_.max_region_pages);
-        ++sstats_.expansions;
-      } else {
-        region_pages_ = std::max(region_pages_ / 2, 1u);
-        ++sstats_.shrinks;
-      }
-      break;
-  }
+  region_pages_ = MorphRegionStep(
+      active_policy_, region_pages_, options_.max_region_pages,
+      sstats_.pages_seen, sstats_.pages_with_results, region_pages,
+      region_result_pages, &sstats_.expansions, &sstats_.shrinks);
 }
 
 void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
   const HeapFile* heap = index_->heap();
-  Engine* engine = heap->engine();
+  const ExecContext& ctx = this->ctx();
   const Schema& schema = heap->schema();
   const PageId num_pages = static_cast<PageId>(heap->num_pages());
 
@@ -179,7 +196,7 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
     }
     uint32_t run = 1;
     while (i + run < count && !page_cache_->IsMarked(target + i + run)) ++run;
-    engine->pool().FetchExtent(heap->file_id(), target + i, run);
+    ctx.pool->FetchExtent(heap->file_id(), target + i, run);
     i += run;
   }
   ++sstats_.probes;
@@ -198,7 +215,8 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
     ++stats_.heap_pages_probed;
     ++region_pages_seen;
 
-    const Page& page = engine->storage().GetPage(heap->file_id(), pid);
+    const PageGuard guard = ctx.pool->Pin(heap->file_id(), pid);
+    const Page& page = *guard;
     bool page_has_result = false;
     for (uint16_t s = 0; s < page.num_slots(); ++s) {
       uint32_t size = 0;
@@ -251,9 +269,9 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
     }
   }
   stats_.tuples_inspected += inspected;
-  engine->cpu().ChargeInspect(inspected);
-  engine->cpu().ChargeProduce(produced);
-  engine->cpu().ChargeCacheOp(cache_ops);
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeProduce(produced);
+  ctx.cpu->ChargeCacheOp(cache_ops);
   // The policy compares the region's local selectivity (Eq. 1) against the
   // global selectivity of the pages seen *before* this region (Eq. 2).
   UpdatePolicy(region_pages_seen, region_result_pages);
@@ -262,7 +280,7 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
 }
 
 void SmoothScan::NextUnordered(TupleBatch* out) {
-  Engine* engine = index_->heap()->engine();
+  const ExecContext& ctx = this->ctx();
   while (!out->full()) {
     if (emit_pos_ < emit_.size()) {
       while (emit_pos_ < emit_.size() && !out->full()) {
@@ -281,7 +299,7 @@ void SmoothScan::NextUnordered(TupleBatch* out) {
       continue;
     }
     const Tid tid = it_->tid();
-    engine->cpu().ChargeCacheOp();  // Page ID Cache bit check.
+    ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
     if (page_cache_->IsMarked(tid.page_id)) {
       it_->Next();  // Skip the leaf pointer (the X marks in Fig. 3).
       continue;
@@ -292,7 +310,7 @@ void SmoothScan::NextUnordered(TupleBatch* out) {
 }
 
 void SmoothScan::NextOrdered(TupleBatch* out) {
-  Engine* engine = index_->heap()->engine();
+  const ExecContext& ctx = this->ctx();
   while (!out->full()) {
     if (!it_->Valid() || it_->key() >= predicate_.hi) return;
     if (!morphing_) {
@@ -303,12 +321,12 @@ void SmoothScan::NextOrdered(TupleBatch* out) {
     const Tid tid = it_->tid();
     const int64_t key = it_->key();
     ++sstats_.rc_probes;
-    engine->cpu().ChargeCacheOp();
+    ctx.cpu->ChargeCacheOp();
     std::optional<Tuple> cached = result_cache_->Take(key, tid);
     if (cached) {
       ++sstats_.rc_hits;  // Served from the cache without new I/O.
     } else {
-      engine->cpu().ChargeCacheOp();  // Page ID Cache bit check.
+      ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
       if (!page_cache_->IsMarked(tid.page_id)) {
         FetchRegionAndHarvest(tid.page_id, /*out=*/nullptr);
         // The entry's tuple is now cached unless it failed the residual

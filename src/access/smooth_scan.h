@@ -58,6 +58,18 @@ enum class MorphTrigger {
 const char* MorphPolicyToString(MorphPolicy policy);
 const char* MorphTriggerToString(MorphTrigger trigger);
 
+/// One region-growth policy step (Section III-B), shared by the serial scan
+/// and the parallel morsel kernel. Compares the finished region's local
+/// selectivity (Eq. 1) against the global selectivity of the pages seen
+/// *before* it (Eq. 2) and returns the next region size, counting the
+/// expansion/shrink into the provided counters.
+uint32_t MorphRegionStep(MorphPolicy policy, uint32_t region_pages,
+                         uint32_t max_region_pages, uint64_t pages_seen_before,
+                         uint64_t pages_with_results_before,
+                         uint64_t region_pages_seen,
+                         uint64_t region_result_pages, uint64_t* expansions,
+                         uint64_t* shrinks);
+
 struct SmoothScanOptions {
   MorphPolicy policy = MorphPolicy::kElastic;
   MorphTrigger trigger = MorphTrigger::kEager;
@@ -138,6 +150,7 @@ class SmoothScan : public AccessPath {
   Status OpenImpl() override;
   bool NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override;
+  ExecContext DefaultContext() const override;
 
  private:
   void NextUnordered(TupleBatch* out);

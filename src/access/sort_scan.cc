@@ -4,28 +4,53 @@
 
 namespace smoothscan {
 
+SortScanExtent CoalesceSortedTidExtent(const std::vector<Tid>& tids, size_t i,
+                                       size_t end) {
+  SortScanExtent extent;
+  size_t j = i;
+  const PageId first_page = tids[i].page_id;
+  PageId last_page = first_page;
+  extent.num_pages = 1;
+  while (j + 1 < end &&
+         (tids[j + 1].page_id == last_page ||
+          tids[j + 1].page_id == last_page + 1) &&
+         tids[j + 1].page_id - first_page < kSortScanChunkPages) {
+    if (tids[j + 1].page_id == last_page + 1) {
+      ++extent.num_pages;
+      last_page = tids[j + 1].page_id;
+    }
+    ++j;
+  }
+  extent.last_entry = j;
+  return extent;
+}
+
 SortScan::SortScan(const BPlusTree* index, ScanPredicate predicate,
                    SortScanOptions options)
     : index_(index), predicate_(std::move(predicate)), options_(options) {
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
 }
 
+ExecContext SortScan::DefaultContext() const {
+  return EngineContext(index_->heap()->engine());
+}
+
 Status SortScan::OpenImpl() {
   const HeapFile* heap = index_->heap();
-  Engine* engine = heap->engine();
+  const ExecContext& ctx = this->ctx();
   results_.clear();
   next_result_ = 0;
   pages_fetched_ = 0;
 
   // Phase 1: harvest qualifying TIDs from the index leaves.
   std::vector<Tid> tids;
-  for (BPlusTree::Iterator it = index_->Seek(predicate_.lo);
+  for (BPlusTree::Iterator it = index_->Seek(predicate_.lo, &ctx);
        it.Valid() && it.key() < predicate_.hi; it.Next()) {
     tids.push_back(it.tid());
   }
 
   // Phase 2: sort TIDs in heap order — the blocking pre-sort.
-  engine->cpu().ChargeSort(tids.size());
+  ctx.cpu->ChargeSort(tids.size());
   std::sort(tids.begin(), tids.end());
 
   // Phase 3: fetch the result pages, coalescing consecutive page ids into
@@ -36,33 +61,19 @@ Status SortScan::OpenImpl() {
     Tuple tuple;
   };
   std::vector<KeyedTuple> keyed;
-  // Extent chunks stay well below the buffer-pool capacity so that a long
-  // run of consecutive result pages is consumed before any of it is evicted.
-  const uint32_t kChunkPages = 64;
   uint64_t inspected = 0;
   uint64_t produced = 0;
   size_t i = 0;
   while (i < tids.size()) {
     // Extent of consecutive distinct pages starting at tids[i].
-    size_t j = i;
-    const PageId first_page = tids[i].page_id;
-    PageId last_page = first_page;
-    uint32_t extent_pages = 1;
-    while (j + 1 < tids.size() &&
-           (tids[j + 1].page_id == last_page ||
-            tids[j + 1].page_id == last_page + 1) &&
-           tids[j + 1].page_id - first_page < kChunkPages) {
-      if (tids[j + 1].page_id == last_page + 1) {
-        ++extent_pages;
-        last_page = tids[j + 1].page_id;
-      }
-      ++j;
-    }
-    engine->pool().FetchExtent(heap->file_id(), first_page, extent_pages);
-    pages_fetched_ += extent_pages;
-    stats_.heap_pages_probed += extent_pages;
+    const SortScanExtent extent =
+        CoalesceSortedTidExtent(tids, i, tids.size());
+    const size_t j = extent.last_entry;
+    ctx.pool->FetchExtent(heap->file_id(), tids[i].page_id, extent.num_pages);
+    pages_fetched_ += extent.num_pages;
+    stats_.heap_pages_probed += extent.num_pages;
     for (size_t k = i; k <= j; ++k) {
-      Tuple tuple = heap->Read(tids[k]);  // Resident: buffer-pool hit.
+      Tuple tuple = heap->Read(tids[k], ctx);  // Resident: buffer-pool hit.
       ++inspected;
       if (predicate_.residual && !predicate_.residual(tuple)) continue;
       ++produced;
@@ -72,12 +83,12 @@ Status SortScan::OpenImpl() {
     i = j + 1;
   }
   stats_.tuples_inspected += inspected;
-  engine->cpu().ChargeInspect(inspected);
-  engine->cpu().ChargeProduce(produced);
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeProduce(produced);
 
   // Phase 4 (optional): posterior sort restoring the interesting order.
   if (options_.preserve_order) {
-    engine->cpu().ChargeSort(keyed.size());
+    ctx.cpu->ChargeSort(keyed.size());
     std::stable_sort(keyed.begin(), keyed.end(),
                      [](const KeyedTuple& a, const KeyedTuple& b) {
                        return a.key != b.key ? a.key < b.key : a.tid < b.tid;

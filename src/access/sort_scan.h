@@ -22,6 +22,22 @@ struct SortScanOptions {
   bool preserve_order = false;
 };
 
+/// Extent-coalescing cap of the sorted-TID heap phase: chunks stay well below
+/// the buffer-pool capacity so a long run of consecutive result pages is
+/// consumed before any of it is evicted. Shared by the serial phase 3 and the
+/// parallel SortScan kernel so the two cannot silently diverge.
+inline constexpr uint32_t kSortScanChunkPages = 64;
+
+/// Coalesced extent starting at `tids[i]` within `tids[i, end)` (page-sorted):
+/// entries sharing one physical request because each targets the same or the
+/// next page, capped at kSortScanChunkPages.
+struct SortScanExtent {
+  size_t last_entry = 0;    ///< Last entry index covered (inclusive).
+  uint32_t num_pages = 0;   ///< Distinct pages spanned, from tids[i].page_id.
+};
+SortScanExtent CoalesceSortedTidExtent(const std::vector<Tid>& tids, size_t i,
+                                       size_t end);
+
 class SortScan : public AccessPath {
  public:
   SortScan(const BPlusTree* index, ScanPredicate predicate,
@@ -41,6 +57,7 @@ class SortScan : public AccessPath {
     results_.shrink_to_fit();
     next_result_ = 0;
   }
+  ExecContext DefaultContext() const override;
 
  private:
   const BPlusTree* index_;

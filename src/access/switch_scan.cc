@@ -10,8 +10,12 @@ SwitchScan::SwitchScan(const BPlusTree* index, ScanPredicate predicate,
   SMOOTHSCAN_CHECK(predicate_.column == index_->key_column());
 }
 
+ExecContext SwitchScan::DefaultContext() const {
+  return EngineContext(index_->heap()->engine());
+}
+
 Status SwitchScan::OpenImpl() {
-  it_ = index_->Seek(predicate_.lo);
+  it_ = index_->Seek(predicate_.lo, &ctx());
   produced_.Clear();
   switched_ = false;
   cur_page_ = 0;
@@ -28,13 +32,13 @@ void SwitchScan::CloseImpl() {
 
 void SwitchScan::IndexPhase(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
-  Engine* engine = heap->engine();
+  const ExecContext& ctx = this->ctx();
   uint64_t inspected = 0;
   uint64_t produced = 0;
   uint64_t cache_ops = 0;
   while (!out->full() && it_->Valid() && it_->key() < predicate_.hi) {
     const Tid tid = it_->tid();
-    Tuple tuple = heap->Read(tid);
+    Tuple tuple = heap->Read(tid, ctx);
     ++stats_.heap_pages_probed;
     ++inspected;
     if (predicate_.residual && !predicate_.residual(tuple)) {
@@ -57,14 +61,14 @@ void SwitchScan::IndexPhase(TupleBatch* out) {
   }
   stats_.tuples_inspected += inspected;
   stats_.tuples_produced += produced;
-  engine->cpu().ChargeInspect(inspected);
-  engine->cpu().ChargeCacheOp(cache_ops);
-  engine->cpu().ChargeProduce(produced);
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeCacheOp(cache_ops);
+  ctx.cpu->ChargeProduce(produced);
 }
 
 void SwitchScan::FullScanPhase(TupleBatch* out) {
   const HeapFile* heap = index_->heap();
-  Engine* engine = heap->engine();
+  const ExecContext& ctx = this->ctx();
   const Schema& schema = heap->schema();
   uint64_t inspected = 0;
   uint64_t produced = 0;
@@ -73,10 +77,11 @@ void SwitchScan::FullScanPhase(TupleBatch* out) {
     if (cur_page_ >= window_end_) {
       const uint32_t window = std::min<uint32_t>(options_.read_ahead_pages,
                                                  num_pages_ - window_end_);
-      engine->pool().FetchExtent(heap->file_id(), window_end_, window);
+      ctx.pool->FetchExtent(heap->file_id(), window_end_, window);
       window_end_ += window;
     }
-    const Page& page = engine->storage().GetPage(heap->file_id(), cur_page_);
+    const PageGuard guard = ctx.pool->Pin(heap->file_id(), cur_page_);
+    const Page& page = *guard;
     if (cur_slot_ == 0) ++stats_.heap_pages_probed;
     const uint16_t num_slots = page.num_slots();
     while (cur_slot_ < num_slots && !out->full()) {
@@ -108,9 +113,9 @@ void SwitchScan::FullScanPhase(TupleBatch* out) {
   }
   stats_.tuples_inspected += inspected;
   stats_.tuples_produced += produced;
-  engine->cpu().ChargeInspect(inspected);
-  engine->cpu().ChargeCacheOp(cache_ops);
-  engine->cpu().ChargeProduce(produced);
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeCacheOp(cache_ops);
+  ctx.cpu->ChargeProduce(produced);
 }
 
 bool SwitchScan::NextBatchImpl(TupleBatch* out) {

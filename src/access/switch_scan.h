@@ -37,6 +37,7 @@ class SwitchScan : public AccessPath {
   Status OpenImpl() override;
   bool NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override;
+  ExecContext DefaultContext() const override;
 
  private:
   /// Index phase: appends until the batch is full, the range ends, or the

@@ -18,8 +18,17 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
 void Rng::Seed(uint64_t seed) {
+  seed_ = seed;
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix (seed, stream) through splitmix so child streams are decorrelated
+  // from the parent and from each other (stream 0 != the parent itself).
+  uint64_t sm = seed_ ^ 0xa0761d6478bd642fULL;
+  uint64_t child = SplitMix64(&sm) + stream;
+  return Rng(SplitMix64(&child));
 }
 
 uint64_t Rng::Next() {

@@ -19,6 +19,17 @@ class Rng {
   /// Re-seeds the generator.
   void Seed(uint64_t seed);
 
+  /// The seed this generator was (last) seeded with.
+  uint64_t seed() const { return seed_; }
+
+  /// Derives an independent, reproducible child stream: Fork(i) of two
+  /// generators with equal seeds yields identical sequences, and distinct
+  /// `stream` values yield decorrelated streams. Parallel workers draw from
+  /// per-worker forks of one root seed, so a parallel run is exactly
+  /// repeatable regardless of scheduling (streams are keyed by logical worker
+  /// or morsel id, never by thread identity).
+  Rng Fork(uint64_t stream) const;
+
   /// Next raw 64-bit value.
   uint64_t Next();
 
@@ -38,6 +49,7 @@ class Rng {
   std::string AlphaString(size_t len);
 
  private:
+  uint64_t seed_ = 0;
   uint64_t state_[4];
 };
 

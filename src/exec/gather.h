@@ -1,0 +1,41 @@
+// GatherOp: the exchange operator marking the parallelism boundary of an
+// operator tree. Everything *below* the gather — the morsel-driven parallel
+// scan and its per-morsel work — runs on the worker pool; everything *above*
+// it (filters, joins, aggregates, sorts) consumes the gathered batch stream
+// serially on the main thread, charging the engine's shared meters as usual.
+// Because the gather delivers batches in morsel order and morsel streams
+// merge deterministically (see parallel_scan.h), a plan with a Gather leaf
+// reports the same simulated cost at any degree of parallelism.
+
+#ifndef SMOOTHSCAN_EXEC_GATHER_H_
+#define SMOOTHSCAN_EXEC_GATHER_H_
+
+#include <memory>
+
+#include "access/parallel_scan.h"
+#include "exec/operator.h"
+
+namespace smoothscan {
+
+class GatherOp : public Operator {
+ public:
+  explicit GatherOp(std::unique_ptr<ParallelScan> source)
+      : source_(std::move(source)) {}
+
+  const char* name() const override { return "Gather"; }
+  const ParallelScan* source() const { return source_.get(); }
+
+ protected:
+  Status OpenImpl() override { return source_->Open(); }
+  bool NextBatchImpl(TupleBatch* out) override {
+    return source_->NextBatch(out);
+  }
+  void CloseImpl() override { source_->Close(); }
+
+ private:
+  std::unique_ptr<ParallelScan> source_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_EXEC_GATHER_H_

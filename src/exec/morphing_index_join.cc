@@ -26,10 +26,10 @@ Status MorphingIndexJoinOp::OpenImpl() {
 void MorphingIndexJoinOp::HarvestPage(PageId pid) {
   const HeapFile* heap = inner_index_->heap();
   Engine* engine = heap->engine();
-  engine->pool().Fetch(heap->file_id(), pid);
+  const PageGuard guard = engine->pool().Fetch(heap->file_id(), pid);
   harvested_->Mark(pid);
   ++mstats_.pages_harvested;
-  const Page& page = engine->storage().GetPage(heap->file_id(), pid);
+  const Page& page = *guard;
   const Schema& schema = heap->schema();
   const int key_col = inner_index_->key_column();
   for (uint16_t s = 0; s < page.num_slots(); ++s) {

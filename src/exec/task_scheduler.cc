@@ -1,0 +1,108 @@
+#include "exec/task_scheduler.h"
+
+#include "common/status.h"
+
+namespace smoothscan {
+
+namespace {
+thread_local int t_worker_id = -1;
+}  // namespace
+
+void TaskScheduler::TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+}
+
+void TaskScheduler::TaskGroup::Finish() {
+  // The lock orders the decrement against a concurrent Wait() so the final
+  // notify cannot be missed.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    cv_.notify_all();
+  }
+}
+
+TaskScheduler::TaskScheduler(uint32_t num_workers, uint64_t rng_seed) {
+  SMOOTHSCAN_CHECK(num_workers > 0);
+  const Rng root(rng_seed);
+  workers_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->rng = root.Fork(i);
+    workers_.push_back(std::move(w));
+  }
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+std::shared_ptr<TaskScheduler::TaskGroup> TaskScheduler::Submit(
+    std::vector<Task> tasks) {
+  auto group = std::shared_ptr<TaskGroup>(new TaskGroup(tasks.size()));
+  if (tasks.empty()) return group;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) {
+      workers_[next_deal_]->tasks.emplace_back(group, std::move(task));
+      next_deal_ = (next_deal_ + 1) % workers_.size();
+    }
+  }
+  cv_.notify_all();
+  return group;
+}
+
+Rng* TaskScheduler::worker_rng(uint32_t worker_id) {
+  SMOOTHSCAN_CHECK(worker_id < workers_.size());
+  return &workers_[worker_id]->rng;
+}
+
+int TaskScheduler::current_worker() { return t_worker_id; }
+
+bool TaskScheduler::TryTake(uint32_t id,
+                            std::pair<std::shared_ptr<TaskGroup>, Task>* out) {
+  // Own deque first (front: submission order)...
+  Worker& self = *workers_[id];
+  if (!self.tasks.empty()) {
+    *out = std::move(self.tasks.front());
+    self.tasks.pop_front();
+    return true;
+  }
+  // ...then steal from the back of the first busy sibling.
+  for (size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(id + k) % workers_.size()];
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskScheduler::WorkerLoop(uint32_t id) {
+  t_worker_id = static_cast<int>(id);
+  while (true) {
+    std::pair<std::shared_ptr<TaskGroup>, Task> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Drain remaining work before honoring shutdown, so a group submitted
+      // just before destruction still completes.
+      cv_.wait(lock, [&] { return TryTake(id, &item) || shutdown_; });
+      if (item.second == nullptr) return;  // Shutdown with empty deques.
+    }
+    item.second();
+    item.first->Finish();
+  }
+}
+
+}  // namespace smoothscan

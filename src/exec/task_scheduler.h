@@ -1,0 +1,102 @@
+// TaskScheduler: the fixed worker pool behind morsel-driven parallel
+// execution. Each worker owns a deque of tasks; Submit() deals a task group
+// round-robin across the deques, workers pop their own deque from the front
+// and — when it runs dry — steal from the back of a sibling's deque, so an
+// uneven group (or several concurrent groups) still keeps every core busy.
+//
+// Determinism contract: the scheduler decides *where and when* tasks run,
+// never *what they compute*. Parallel operators keep their results and their
+// simulated-time accounting a pure function of the task (morsel) list — see
+// parallel_scan.h — so any interleaving the scheduler produces yields the
+// same answer. Randomized tasks draw from per-worker Rng streams forked from
+// one root seed (keyed by worker slot, not thread identity).
+
+#ifndef SMOOTHSCAN_EXEC_TASK_SCHEDULER_H_
+#define SMOOTHSCAN_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace smoothscan {
+
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// Completion handle of one Submit() call.
+  class TaskGroup {
+   public:
+    /// Blocks until every task of the group has finished.
+    void Wait();
+    bool Done() const { return remaining_.load(std::memory_order_acquire) == 0; }
+
+   private:
+    friend class TaskScheduler;
+    explicit TaskGroup(size_t n) : remaining_(n) {}
+    void Finish();
+
+    std::atomic<size_t> remaining_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+
+  /// Spawns `num_workers` threads (at least 1). `rng_seed` roots the
+  /// per-worker random streams.
+  explicit TaskScheduler(uint32_t num_workers,
+                         uint64_t rng_seed = 0x5eedc0ffee123457ULL);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues `tasks` as one group, dealt round-robin across worker deques.
+  /// Returns immediately; wait on the group for completion.
+  std::shared_ptr<TaskGroup> Submit(std::vector<Task> tasks);
+
+  /// The deterministic random stream of worker `worker_id` (call only from
+  /// that worker's tasks, or before/after the group runs).
+  Rng* worker_rng(uint32_t worker_id);
+
+  /// Worker slot of the calling thread, or -1 off the pool.
+  static int current_worker();
+
+  /// Tasks obtained by stealing from another worker's deque (observability;
+  /// exact value depends on timing).
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::deque<std::pair<std::shared_ptr<TaskGroup>, Task>> tasks;
+    Rng rng;
+    std::thread thread;
+  };
+
+  void WorkerLoop(uint32_t id);
+  /// Pops own work from the front, or steals from the back of a sibling.
+  bool TryTake(uint32_t id, std::pair<std::shared_ptr<TaskGroup>, Task>* out);
+
+  // One latch guards all deques: contention is per-task (morsels are
+  // thousands of tuples each), far off any hot path. The stealing *policy*
+  // stays per-deque; the latch is an implementation shortcut.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t next_deal_ = 0;
+  bool shutdown_ = false;
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_EXEC_TASK_SCHEDULER_H_

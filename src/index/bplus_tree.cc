@@ -189,11 +189,11 @@ BPlusTree::SplitResult BPlusTree::InsertRec(PageId node_id, int64_t key,
   return {true, up, right_id};
 }
 
-PageId BPlusTree::DescendAccounted(int64_t key) const {
+PageId BPlusTree::DescendAccounted(int64_t key, BufferPool* pool) const {
   SMOOTHSCAN_CHECK(!nodes_.empty());
   PageId cur = root_;
   while (true) {
-    engine_->pool().Fetch(file_id_, cur);
+    pool->Fetch(file_id_, cur);
     const Node& n = node(cur);
     if (n.is_leaf) return cur;
     // Child index = number of separators strictly below `key`. Because a run
@@ -205,9 +205,12 @@ PageId BPlusTree::DescendAccounted(int64_t key) const {
   }
 }
 
-BPlusTree::Iterator BPlusTree::Seek(int64_t lo) const {
-  if (nodes_.empty() || num_entries_ == 0) return Iterator(this, kInvalidPageId, 0);
-  PageId leaf = DescendAccounted(lo);
+BPlusTree::Iterator BPlusTree::Seek(int64_t lo, const ExecContext* ctx) const {
+  BufferPool* pool = ctx != nullptr ? ctx->pool : &engine_->pool();
+  if (nodes_.empty() || num_entries_ == 0) {
+    return Iterator(this, kInvalidPageId, 0, ctx);
+  }
+  PageId leaf = DescendAccounted(lo, pool);
   const Node& n = node(leaf);
   uint32_t pos = static_cast<uint32_t>(
       std::lower_bound(n.keys.begin(), n.keys.end(), lo) - n.keys.begin());
@@ -216,13 +219,15 @@ BPlusTree::Iterator BPlusTree::Seek(int64_t lo) const {
     // the next leaf.
     leaf = n.next_leaf;
     pos = 0;
-    if (leaf != kInvalidPageId) engine_->pool().Fetch(file_id_, leaf);
+    if (leaf != kInvalidPageId) pool->Fetch(file_id_, leaf);
   }
-  return Iterator(this, leaf, pos);
+  return Iterator(this, leaf, pos, ctx);
 }
 
 BPlusTree::Iterator BPlusTree::Begin() const {
-  if (nodes_.empty() || num_entries_ == 0) return Iterator(this, kInvalidPageId, 0);
+  if (nodes_.empty() || num_entries_ == 0) {
+    return Iterator(this, kInvalidPageId, 0, nullptr);
+  }
   // Charge the leftmost descent.
   PageId cur = root_;
   while (true) {
@@ -231,7 +236,15 @@ BPlusTree::Iterator BPlusTree::Begin() const {
     if (n.is_leaf) break;
     cur = n.children.front();
   }
-  return Iterator(this, cur, 0);
+  return Iterator(this, cur, 0, nullptr);
+}
+
+BufferPool& BPlusTree::Iterator::pool() const {
+  return ctx_ != nullptr ? *ctx_->pool : tree_->engine_->pool();
+}
+
+CpuMeter& BPlusTree::Iterator::cpu() const {
+  return ctx_ != nullptr ? *ctx_->cpu : tree_->engine_->cpu();
 }
 
 int64_t BPlusTree::Iterator::key() const {
@@ -246,15 +259,53 @@ Tid BPlusTree::Iterator::tid() const {
 
 void BPlusTree::Iterator::Next() {
   SMOOTHSCAN_CHECK(Valid());
-  tree_->engine_->cpu().ChargeIndexEntry();
+  cpu().ChargeIndexEntry();
   ++pos_;
   if (pos_ >= tree_->node(leaf_).keys.size()) {
     leaf_ = tree_->node(leaf_).next_leaf;
     pos_ = 0;
     if (leaf_ != kInvalidPageId) {
-      tree_->engine_->pool().Fetch(tree_->file_id_, leaf_);
+      pool().Fetch(tree_->file_id_, leaf_);
     }
   }
+}
+
+std::vector<int64_t> BPlusTree::PartitionKeyRange(int64_t lo, int64_t hi,
+                                                  uint32_t max_parts) const {
+  std::vector<int64_t> bounds = {lo};
+  if (max_parts <= 1 || nodes_.empty() || num_entries_ == 0 || lo >= hi) {
+    bounds.push_back(hi);
+    return bounds;
+  }
+  // Count qualifying entries with a free leaf walk (exact histogram).
+  uint64_t in_range = 0;
+  for (PageId leaf = first_leaf_; leaf != kInvalidPageId;
+       leaf = node(leaf).next_leaf) {
+    for (const int64_t k : node(leaf).keys) {
+      if (k >= lo && k < hi) ++in_range;
+    }
+  }
+  if (in_range == 0) {
+    bounds.push_back(hi);
+    return bounds;
+  }
+  const uint64_t per_part = (in_range + max_parts - 1) / max_parts;
+  uint64_t seen = 0;
+  uint64_t next_cut = per_part;
+  for (PageId leaf = first_leaf_; leaf != kInvalidPageId;
+       leaf = node(leaf).next_leaf) {
+    for (const int64_t k : node(leaf).keys) {
+      if (k < lo || k >= hi) continue;
+      if (seen >= next_cut && k > bounds.back()) {
+        // Cut *before* this key so a duplicate run never straddles parts.
+        bounds.push_back(k);
+        next_cut = seen + per_part;
+      }
+      ++seen;
+    }
+  }
+  bounds.push_back(hi);
+  return bounds;
 }
 
 std::vector<int64_t> BPlusTree::RootSeparators() const {

@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/engine.h"
+#include "storage/exec_context.h"
 #include "storage/heap_file.h"
 
 namespace smoothscan {
@@ -71,7 +72,8 @@ class BPlusTree {
   void Insert(int64_t key, Tid tid);
 
   /// Forward iterator over leaf entries; query-time accesses are charged to
-  /// the engine's buffer pool / CPU meter.
+  /// the engine's buffer pool / CPU meter — or, when the iterator was
+  /// obtained with an ExecContext, to that context's stream instead.
   class Iterator {
    public:
     bool Valid() const { return leaf_ != kInvalidPageId; }
@@ -82,20 +84,37 @@ class BPlusTree {
 
    private:
     friend class BPlusTree;
-    Iterator(const BPlusTree* tree, PageId leaf, uint32_t pos)
-        : tree_(tree), leaf_(leaf), pos_(pos) {}
+    Iterator(const BPlusTree* tree, PageId leaf, uint32_t pos,
+             const ExecContext* ctx)
+        : tree_(tree), leaf_(leaf), pos_(pos), ctx_(ctx) {}
+
+    BufferPool& pool() const;
+    CpuMeter& cpu() const;
 
     const BPlusTree* tree_;
     PageId leaf_;
     uint32_t pos_;
+    /// Borrowed accounting context; null = the tree's engine. Must outlive
+    /// the iterator (morsel contexts outlive their morsel's scan).
+    const ExecContext* ctx_;
   };
 
   /// First entry with key >= `lo`, charging the tree descent (height random
   /// I/Os on a cold buffer pool). Invalid iterator when no such entry exists.
-  Iterator Seek(int64_t lo) const;
+  /// `ctx` redirects the descent and all iteration charges (null = engine).
+  Iterator Seek(int64_t lo, const ExecContext* ctx = nullptr) const;
 
   /// First entry of the index (also charges a descent).
   Iterator Begin() const;
+
+  /// Splits the qualifying key range [lo, hi) into up to `max_parts`
+  /// contiguous sub-ranges covering roughly equal numbers of index entries,
+  /// using the leaf level as an exact histogram. Returns ascending bounds
+  /// {lo, b1, ..., hi}; part i is [bounds[i], bounds[i+1]). Planning helper:
+  /// walks the in-memory nodes free of charge, like the optimizer's
+  /// statistics would be consulted.
+  std::vector<int64_t> PartitionKeyRange(int64_t lo, int64_t hi,
+                                         uint32_t max_parts) const;
 
   /// Key separators stored in the root node. The paper uses these as the
   /// key-range partition boundaries of the Result Cache ("the root page is a
@@ -131,8 +150,8 @@ class BPlusTree {
   const Node& node(PageId id) const { return *nodes_[id]; }
 
   /// Descends from the root to the leaf that may contain `key`, charging one
-  /// buffer-pool fetch per visited node. Returns the leaf page id.
-  PageId DescendAccounted(int64_t key) const;
+  /// buffer-pool fetch per visited node to `pool`. Returns the leaf page id.
+  PageId DescendAccounted(int64_t key, BufferPool* pool) const;
 
   /// Recursive insert; returns the (separator, new right sibling) on split.
   struct SplitResult {

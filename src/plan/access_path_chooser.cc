@@ -1,5 +1,6 @@
 #include "plan/access_path_chooser.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace smoothscan {
@@ -23,6 +24,16 @@ const char* PathKindToString(PathKind kind) {
 PlanChoice AccessPathChooser::Choose(const TableStats& stats,
                                      const CostModel& model, int64_t lo,
                                      int64_t hi, bool need_order) {
+  ChooserOptions options;
+  options.need_order = need_order;
+  return Choose(stats, model, lo, hi, options);
+}
+
+PlanChoice AccessPathChooser::Choose(const TableStats& stats,
+                                     const CostModel& model, int64_t lo,
+                                     int64_t hi,
+                                     const ChooserOptions& options) {
+  const bool need_order = options.need_order;
   PlanChoice choice;
   choice.estimated_selectivity = stats.EstimateSelectivity(lo, hi);
   choice.estimated_cardinality = stats.EstimateCardinality(lo, hi);
@@ -52,16 +63,51 @@ PlanChoice AccessPathChooser::Choose(const TableStats& stats,
       static_cast<double>(result_pages) * model.params().seq_cost + tid_sort +
       sort_penalty;
 
-  choice.kind = PathKind::kFullScan;
-  choice.estimated_cost = full;
-  if (index < choice.estimated_cost) {
-    choice.kind = PathKind::kIndexScan;
-    choice.estimated_cost = index;
+  // Wall-clock estimates under `dop` workers: Amdahl over each path's serial
+  // prolog fraction. The heap pass of every path parallelizes over morsels;
+  // posterior sorts, TID sorts and leaf walks stay on the consumer thread.
+  const uint32_t dop = std::max<uint32_t>(1, options.dop);
+  const double d = static_cast<double>(dop);
+  // Order-preserving consumers have no parallel plan at all (MakeParallelPath
+  // returns null), so every wall estimate stays serial under need_order.
+  const double full_wall =
+      need_order ? full : (full - sort_penalty) / d + sort_penalty;
+  // The parallel index kernel has no serial prolog: each key-range morsel
+  // seeks and walks its own leaf slice concurrently.
+  const double index_wall = need_order ? index : index / d;
+  // The sort-scan prolog (leaf walk + TID sort) does run serially.
+  const double sort_scan_serial = static_cast<double>(model.LeavesForResults(
+                                      card)) * model.params().seq_cost +
+                                  tid_sort + sort_penalty;
+  const double sort_scan_wall =
+      need_order ? sort_scan
+                 : (sort_scan - sort_scan_serial) / d + sort_scan_serial;
+
+  // Rank by simulated cost at dop = 1 (the paper's setting) and by the wall
+  // estimate when parallelism is available.
+  const struct {
+    PathKind kind;
+    double cost;
+    double wall;
+  } candidates[] = {
+      {PathKind::kFullScan, full, full_wall},
+      {PathKind::kIndexScan, index, index_wall},
+      {PathKind::kSortScan, sort_scan, sort_scan_wall},
+  };
+  choice.kind = candidates[0].kind;
+  choice.estimated_cost = candidates[0].cost;
+  choice.estimated_wall_cost = candidates[0].wall;
+  for (const auto& c : candidates) {
+    const double rank = dop > 1 ? c.wall : c.cost;
+    const double best = dop > 1 ? choice.estimated_wall_cost
+                                : choice.estimated_cost;
+    if (rank < best) {
+      choice.kind = c.kind;
+      choice.estimated_cost = c.cost;
+      choice.estimated_wall_cost = c.wall;
+    }
   }
-  if (sort_scan < choice.estimated_cost) {
-    choice.kind = PathKind::kSortScan;
-    choice.estimated_cost = sort_scan;
-  }
+  choice.dop = dop;
   return choice;
 }
 
@@ -90,6 +136,46 @@ std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
     }
   }
   return nullptr;
+}
+
+std::unique_ptr<ParallelScan> MakeParallelPath(
+    PathKind kind, const BPlusTree* index, const ScanPredicate& predicate,
+    bool need_order, uint64_t estimate, const ParallelScanOptions& parallel) {
+  if (need_order) return nullptr;  // Cross-morsel order needs a merge: serial.
+  switch (kind) {
+    case PathKind::kFullScan:
+      return MakeParallelFullScan(index->heap(), predicate, FullScanOptions(),
+                                  parallel);
+    case PathKind::kIndexScan:
+      return MakeParallelIndexScan(index, predicate, parallel);
+    case PathKind::kSortScan:
+      return MakeParallelSortScan(index, predicate, SortScanOptions(),
+                                  parallel);
+    case PathKind::kSwitchScan: {
+      SwitchScanOptions options;
+      options.estimated_cardinality = estimate;
+      return MakeParallelSwitchScan(index, predicate, options, parallel);
+    }
+    case PathKind::kSmoothScan:
+      // The paper's preferred Eager trigger parallelizes; non-eager triggers
+      // gate on global cardinality and keep the serial operator.
+      return MakeParallelSmoothScan(index, predicate, SmoothScanOptions(),
+                                    parallel);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
+                                     const ScanPredicate& predicate,
+                                     bool need_order, uint64_t estimate,
+                                     const ParallelScanOptions& parallel) {
+  if (parallel.dop > 1) {
+    std::unique_ptr<ParallelScan> par =
+        MakeParallelPath(kind, index, predicate, need_order, estimate,
+                         parallel);
+    if (par != nullptr) return par;
+  }
+  return MakePath(kind, index, predicate, need_order, estimate);
 }
 
 }  // namespace smoothscan

@@ -11,6 +11,7 @@
 
 #include "access/full_scan.h"
 #include "access/index_scan.h"
+#include "access/parallel_scan.h"
 #include "access/smooth_scan.h"
 #include "access/sort_scan.h"
 #include "access/switch_scan.h"
@@ -29,12 +30,28 @@ enum class PathKind {
 
 const char* PathKindToString(PathKind kind);
 
+/// Chooser knobs beyond the predicate itself.
+struct ChooserOptions {
+  /// The consumer requires index-key order.
+  bool need_order = false;
+  /// Degree of parallelism available to the plan. Simulated cost is
+  /// DOP-invariant by design (see parallel_scan.h); the knob only changes the
+  /// *wall-clock* estimate, so with dop > 1 the chooser ranks paths by
+  /// estimated_wall_cost instead.
+  uint32_t dop = 1;
+};
+
 /// The optimizer's verdict for one selection.
 struct PlanChoice {
   PathKind kind = PathKind::kFullScan;
   double estimated_selectivity = 0.0;
   uint64_t estimated_cardinality = 0;
+  /// Simulated-time estimate (identical at every DOP).
   double estimated_cost = 0.0;
+  /// Wall-clock estimate under `dop` workers (Amdahl over the path's serial
+  /// prolog fraction). Equals estimated_cost at dop = 1.
+  double estimated_wall_cost = 0.0;
+  uint32_t dop = 1;
 };
 
 class AccessPathChooser {
@@ -44,6 +61,11 @@ class AccessPathChooser {
   /// here as a CPU surcharge proportional to n log n.
   static PlanChoice Choose(const TableStats& stats, const CostModel& model,
                            int64_t lo, int64_t hi, bool need_order);
+
+  /// Degree-of-parallelism-aware variant (see ChooserOptions::dop).
+  static PlanChoice Choose(const TableStats& stats, const CostModel& model,
+                           int64_t lo, int64_t hi,
+                           const ChooserOptions& options);
 };
 
 /// Materializes an access path of `kind` over `index` (its heap) with
@@ -53,6 +75,21 @@ class AccessPathChooser {
 std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
                                      const ScanPredicate& predicate,
                                      bool need_order, uint64_t estimate);
+
+/// Materializes the morsel-driven parallel variant of `kind`, or null when
+/// the combination has no parallel form (order-preserving consumers; the
+/// non-eager Smooth Scan triggers keep their serial operator). `parallel.dop`
+/// may be 1 — the same morsel machinery on one worker, same simulated cost.
+std::unique_ptr<ParallelScan> MakeParallelPath(
+    PathKind kind, const BPlusTree* index, const ScanPredicate& predicate,
+    bool need_order, uint64_t estimate, const ParallelScanOptions& parallel);
+
+/// MakePath with a parallelism knob: returns the parallel variant when
+/// `parallel.dop > 1` and the combination supports one, else the serial path.
+std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
+                                     const ScanPredicate& predicate,
+                                     bool need_order, uint64_t estimate,
+                                     const ParallelScanOptions& parallel);
 
 }  // namespace smoothscan
 

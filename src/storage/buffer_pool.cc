@@ -1,61 +1,124 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 namespace smoothscan {
 
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(key_);
+    pool_ = nullptr;
+  }
+  page_ = nullptr;
+}
+
 BufferPool::BufferPool(StorageManager* storage, SimDisk* disk,
-                       size_t capacity_pages)
+                       size_t capacity_pages, uint32_t num_shards)
     : storage_(storage), disk_(disk), capacity_(capacity_pages) {
   SMOOTHSCAN_CHECK(capacity_pages > 0);
+  SMOOTHSCAN_CHECK(num_shards > 0);
+  const size_t shards =
+      std::min<size_t>(num_shards, std::max<size_t>(1, capacity_pages));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Distribute the capacity; earlier shards take the remainder.
+    shards_.back()->capacity = capacity_pages / shards +
+                               (i < capacity_pages % shards ? 1 : 0);
+  }
 }
 
 bool BufferPool::Contains(FileId file, PageId page) const {
-  return map_.count(Key(file, page)) > 0;
-}
-
-void BufferPool::Touch(uint64_t key) {
-  auto it = map_.find(key);
-  SMOOTHSCAN_CHECK(it != map_.end());
-  lru_.splice(lru_.begin(), lru_, it->second);
-}
-
-void BufferPool::Insert(uint64_t key) {
-  if (map_.size() >= capacity_) {
-    const uint64_t victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
-  }
-  lru_.push_front(key);
-  map_[key] = lru_.begin();
-}
-
-const Page& BufferPool::Fetch(FileId file, PageId page) {
   const uint64_t key = Key(file, page);
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    ++stats_.hits;
-    Touch(key);
-  } else {
-    ++stats_.misses;
-    disk_->ReadPage(file, page);
-    Insert(key);
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.count(key) > 0;
+}
+
+void BufferPool::InsertLocked(Shard* shard, uint64_t key) {
+  if (shard->map.size() >= shard->capacity) {
+    // Evict the least recently used unpinned page. When everything is pinned
+    // the shard transiently overflows its capacity share — pins win.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      auto victim = shard->map.find(*it);
+      if (victim->second.pins > 0) continue;
+      shard->lru.erase(std::next(it).base());
+      shard->map.erase(victim);
+      break;
+    }
   }
-  return storage_->GetPage(file, page);
+  shard->lru.push_front(key);
+  shard->map[key] = Entry{shard->lru.begin(), 0};
+}
+
+PageGuard BufferPool::Fetch(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  Shard& shard = ShardFor(key);
+  bool miss = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.stats.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ++it->second.pins;
+    } else {
+      ++shard.stats.misses;
+      miss = true;
+      InsertLocked(&shard, key);
+      ++shard.map[key].pins;
+    }
+  }
+  // Charge outside the shard latch; SimDisk serializes internally.
+  if (miss) disk_->ReadPage(file, page);
+  return PageGuard(this, key, &storage_->GetPage(file, page));
+}
+
+PageGuard BufferPool::Pin(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ++it->second.pins;
+    } else {
+      InsertLocked(&shard, key);
+      ++shard.map[key].pins;
+    }
+  }
+  return PageGuard(this, key, &storage_->GetPage(file, page));
+}
+
+void BufferPool::Unpin(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  SMOOTHSCAN_CHECK(it != shard.map.end() && it->second.pins > 0);
+  --it->second.pins;
 }
 
 void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
   if (num_pages == 0) return;
+  // Checks residency and records the hit under one latch acquisition, so a
+  // concurrent eviction between the check and the touch cannot bite.
+  auto touch_if_resident = [&](PageId p) -> bool {
+    const uint64_t key = Key(file, p);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    ++shard.stats.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return true;
+  };
   // Trim resident pages at both ends; the physical read must still cover any
   // resident pages in the middle of the extent.
   PageId lo = first;
   PageId hi = first + num_pages - 1;
-  while (lo <= hi && Contains(file, lo)) {
-    ++stats_.hits;
-    Touch(Key(file, lo));
-    ++lo;
-  }
-  while (hi >= lo && Contains(file, hi)) {
-    ++stats_.hits;
-    Touch(Key(file, hi));
+  while (lo <= hi && touch_if_resident(lo)) ++lo;
+  while (hi >= lo && touch_if_resident(hi)) {
     if (hi == 0) break;
     --hi;
   }
@@ -63,18 +126,63 @@ void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
   disk_->ReadExtent(file, lo, hi - lo + 1);
   for (PageId p = lo; p <= hi; ++p) {
     const uint64_t key = Key(file, p);
-    if (map_.count(key)) {
-      Touch(key);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     } else {
-      ++stats_.misses;
-      Insert(key);
+      ++shard.stats.misses;
+      InsertLocked(&shard, key);
     }
   }
 }
 
-void BufferPool::FlushAll() {
-  lru_.clear();
-  map_.clear();
+size_t BufferPool::FlushAll() {
+  size_t pinned = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (it->second.pins > 0) {
+        ++pinned;  // Skip + report: a pinned page is never invalidated.
+        ++it;
+      } else {
+        shard->lru.erase(it->second.lru_it);
+        it = shard->map.erase(it);
+      }
+    }
+  }
+  return pinned;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+  }
+  return total;
+}
+
+size_t BufferPool::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+uint64_t BufferPool::pinned_pages() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->map) {
+      if (entry.pins > 0) ++n;
+    }
+  }
+  return n;
 }
 
 }  // namespace smoothscan

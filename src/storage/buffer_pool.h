@@ -2,12 +2,22 @@
 // simulated disk. A hit costs nothing; a miss charges SimDisk. Benchmarks run
 // "cold" by calling FlushAll() before each query, mirroring the paper's
 // clearing of database and OS caches before every execution.
+//
+// Concurrency: the pool is sharded — each shard owns a slice of the capacity
+// with its own latch, LRU list and map, so concurrent fetches on different
+// shards never contend. Pages are handed out as pinned PageGuards: a pinned
+// page is never evicted and FlushAll() skips (and reports) it, so a reference
+// obtained from Fetch() stays valid for the guard's lifetime even while other
+// threads churn the pool. Construct with `num_shards = 1` to pin the exact
+// global-LRU eviction order (tests; morsel-local pools).
 
 #ifndef SMOOTHSCAN_STORAGE_BUFFER_POOL_H_
 #define SMOOTHSCAN_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/types.h"
@@ -17,60 +27,142 @@
 
 namespace smoothscan {
 
+class BufferPool;
+
 /// Buffer-pool hit/miss counters.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
 };
 
-/// LRU buffer pool. Single-threaded; pages are read-only at query time so
-/// there is no dirty-page write-back path.
+/// A pinned reference to a buffer-pool page. While the guard lives, the page
+/// cannot be evicted or flushed, so the `Page&` it exposes cannot dangle.
+/// Move-only; unpins on destruction. A default-constructed guard is empty.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { MoveFrom(&other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  const Page& operator*() const { return *page_; }
+  const Page* operator->() const { return page_; }
+  const Page* get() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, uint64_t key, const Page* page)
+      : pool_(pool), key_(key), page_(page) {}
+  void MoveFrom(PageGuard* other) {
+    pool_ = other->pool_;
+    key_ = other->key_;
+    page_ = other->page_;
+    other->pool_ = nullptr;
+    other->page_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  uint64_t key_ = 0;
+  const Page* page_ = nullptr;
+};
+
+/// Sharded LRU buffer pool (see file comment).
 class BufferPool {
  public:
-  /// `capacity_pages` bounds the number of resident pages.
-  BufferPool(StorageManager* storage, SimDisk* disk, size_t capacity_pages);
+  /// Default shard count of engine-owned pools.
+  static constexpr uint32_t kDefaultShards = 8;
+
+  /// `capacity_pages` bounds the number of resident pages across all shards;
+  /// the effective shard count never exceeds the capacity.
+  BufferPool(StorageManager* storage, SimDisk* disk, size_t capacity_pages,
+             uint32_t num_shards = kDefaultShards);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns `page` of `file`, charging the disk on a miss.
-  const Page& Fetch(FileId file, PageId page);
+  /// Returns a pinned guard of `page` of `file`, charging the disk on a miss.
+  PageGuard Fetch(FileId file, PageId page);
+
+  /// Returns a pinned guard without any I/O charge or hit/miss accounting:
+  /// the caller already charged the access through its own stream (morsel
+  /// execution), or the access is free by design. Inserts the page if absent.
+  PageGuard Pin(FileId file, PageId page);
 
   /// Prefetches the extent [first, first + num_pages) with a single I/O
   /// request (Smooth Scan Mode 2 flattening / scan read-ahead). Pages already
   /// resident at the head or tail of the extent shrink the transfer; the
   /// charged request spans the first through last non-resident page, since a
-  /// physical extent read cannot skip holes in the middle.
+  /// physical extent read cannot skip holes in the middle. Takes no pins.
   void FetchExtent(FileId file, PageId first, uint32_t num_pages);
 
-  /// Evicts everything: the next access to any page is a cold miss.
-  void FlushAll();
+  /// Evicts every unpinned page: the next access to such a page is a cold
+  /// miss. Pinned pages are skipped — never invalidated — and their count is
+  /// returned so callers can report an incomplete flush.
+  size_t FlushAll();
 
   /// True when the page is resident (no I/O charged; no LRU update).
   bool Contains(FileId file, PageId page) const;
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Aggregated over shards (copied under the shard latches).
+  BufferPoolStats stats() const;
+
   size_t capacity() const { return capacity_; }
-  size_t size() const { return map_.size(); }
+  size_t size() const;
+  /// Currently pinned pages (for tests / flush reporting).
+  uint64_t pinned_pages() const;
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
 
  private:
+  friend class PageGuard;
+
+  struct Entry {
+    std::list<uint64_t>::iterator lru_it;
+    uint32_t pins = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    // LRU list: front = most recently used. Map values point into the list.
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, Entry> map;
+    BufferPoolStats stats;
+  };
+
   // 64-bit key packing (file, page).
   static uint64_t Key(FileId file, PageId page) {
     return (static_cast<uint64_t>(file) << 32) | page;
   }
+  static PageId PageOf(uint64_t key) { return static_cast<PageId>(key); }
 
-  /// Inserts `key` as most-recently-used, evicting the LRU page if full.
-  void Insert(uint64_t key);
-  void Touch(uint64_t key);
+  Shard& ShardFor(uint64_t key) {
+    // Consecutive pages round-robin across shards so sequential scans spread.
+    return *shards_[PageOf(key) % shards_.size()];
+  }
+  const Shard& ShardFor(uint64_t key) const {
+    return *shards_[PageOf(key) % shards_.size()];
+  }
+
+  /// Inserts `key` as most-recently-used in its shard (which must be locked),
+  /// evicting the least recently used *unpinned* page if the shard is full.
+  void InsertLocked(Shard* shard, uint64_t key);
+  void Unpin(uint64_t key);
 
   StorageManager* storage_;
   SimDisk* disk_;
   size_t capacity_;
-  BufferPoolStats stats_;
-
-  // LRU list: front = most recently used. Map values point into the list.
-  std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace smoothscan

@@ -58,6 +58,9 @@ class CpuMeter {
   void ChargeHashOp(uint64_t ops = 1) {
     time_ += costs_.hash_op * static_cast<double>(ops);
   }
+  /// Adds another meter's accumulated time (morsel merge; callers merge in
+  /// morsel order so double accumulation stays deterministic).
+  void Add(double time) { time_ += time; }
 
   double time() const { return time_; }
   void Reset() { time_ = 0.0; }

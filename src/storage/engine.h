@@ -46,7 +46,9 @@ class Engine {
   double TotalTime() const { return disk_.stats().io_time + cpu_.time(); }
 
   /// Empties caches and forgets disk positions so the next query runs cold,
-  /// as in the paper's experimental setup. Counters are preserved.
+  /// as in the paper's experimental setup. Counters are preserved. Pages
+  /// pinned by live PageGuards survive the flush (skip + report semantics);
+  /// a cold restart between queries expects no live guards.
   void ColdRestart() {
     pool_.FlushAll();
     disk_.ResetPositions();

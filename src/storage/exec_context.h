@@ -1,0 +1,79 @@
+// ExecContext: the accounting surface an operator executes against — which
+// buffer pool its page accesses go through, which CPU meter its work is
+// charged to, which simulated disk classifies its stream. Serial execution
+// uses the engine's shared instances; morsel-driven parallel execution hands
+// every morsel a private stack (MorselContext) so that simulated time is
+// charged per *logical access stream* and stays a pure function of the morsel
+// decomposition, independent of worker count and interleaving.
+
+#ifndef SMOOTHSCAN_STORAGE_EXEC_CONTEXT_H_
+#define SMOOTHSCAN_STORAGE_EXEC_CONTEXT_H_
+
+#include "storage/engine.h"
+
+namespace smoothscan {
+
+/// Borrowed pointers to the components an operator charges its work to.
+/// Copyable; the pointees must outlive every operator using the context.
+struct ExecContext {
+  StorageManager* storage = nullptr;
+  BufferPool* pool = nullptr;
+  CpuMeter* cpu = nullptr;
+  SimDisk* disk = nullptr;
+
+  bool valid() const { return pool != nullptr; }
+};
+
+/// The engine's shared (serial) execution context.
+inline ExecContext EngineContext(Engine* engine) {
+  return ExecContext{&engine->storage(), &engine->pool(), &engine->cpu(),
+                     &engine->disk()};
+}
+
+/// The per-morsel accounting stack: a private simulated disk (one logical
+/// access stream), a private single-shard buffer pool (morsel-local
+/// residency, exact LRU) and a private CPU meter. Page *data* still comes
+/// from the engine's StorageManager — pages are immutable at query time — so
+/// only accounting state is duplicated. When the parallel operator finishes
+/// it merges every context into the engine in morsel order, which keeps the
+/// accumulated doubles bit-identical across degrees of parallelism.
+class MorselContext {
+ public:
+  explicit MorselContext(Engine* engine)
+      : engine_(engine),
+        disk_(engine->options().device, engine->options().page_size),
+        pool_(&engine->storage(), &disk_, engine->options().buffer_pool_pages,
+              /*num_shards=*/1),
+        cpu_(engine->options().cpu_costs) {
+    ctx_.storage = &engine->storage();
+    ctx_.pool = &pool_;
+    ctx_.cpu = &cpu_;
+    ctx_.disk = &disk_;
+  }
+
+  MorselContext(const MorselContext&) = delete;
+  MorselContext& operator=(const MorselContext&) = delete;
+
+  const ExecContext& ctx() const { return ctx_; }
+  SimDisk& disk() { return disk_; }
+  BufferPool& pool() { return pool_; }
+  CpuMeter& cpu() { return cpu_; }
+
+  /// Folds this stream's accounting into the engine the context was built
+  /// from. Call exactly once per context, in morsel order.
+  void MergeIntoEngine() {
+    engine_->disk().Absorb(disk_.stats());
+    engine_->cpu().Add(cpu_.time());
+  }
+
+ private:
+  Engine* engine_;
+  SimDisk disk_;
+  BufferPool pool_;
+  CpuMeter cpu_;
+  ExecContext ctx_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_STORAGE_EXEC_CONTEXT_H_

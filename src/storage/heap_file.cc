@@ -24,9 +24,13 @@ Result<Tid> HeapFile::Append(const Tuple& tuple) {
 }
 
 Tuple HeapFile::Read(Tid tid) const {
-  const Page& page = engine_->pool().Fetch(file_id_, tid.page_id);
+  return Read(tid, EngineContext(engine_));
+}
+
+Tuple HeapFile::Read(Tid tid, const ExecContext& ctx) const {
+  const PageGuard page = ctx.pool->Fetch(file_id_, tid.page_id);
   uint32_t size = 0;
-  const uint8_t* data = page.GetTuple(tid.slot, &size);
+  const uint8_t* data = page->GetTuple(tid.slot, &size);
   return schema_.Deserialize(data, size);
 }
 

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/engine.h"
+#include "storage/exec_context.h"
 #include "storage/schema.h"
 
 namespace smoothscan {
@@ -28,8 +29,12 @@ class HeapFile {
   /// Appends `tuple`, returning its TID. Build-time: not I/O-accounted.
   Result<Tid> Append(const Tuple& tuple);
 
-  /// Reads the tuple at `tid` through the buffer pool (I/O-accounted).
+  /// Reads the tuple at `tid` through the engine's buffer pool
+  /// (I/O-accounted).
   Tuple Read(Tid tid) const;
+
+  /// Same, charging `ctx` instead (morsel-driven execution).
+  Tuple Read(Tid tid, const ExecContext& ctx) const;
 
   /// Build-time full iteration without I/O accounting (loaders, oracles and
   /// test baselines). `fn` receives (tid, tuple).

@@ -19,11 +19,20 @@
 // ReadExtent call is a single request regardless of the number of pages it
 // transfers. This is the "#I/O Req." metric of the paper's Table II and the
 // quantity Smooth Scan's flattening is designed to reduce.
+//
+// Threading model: a SimDisk instance is one *logical access stream*. The
+// engine's instance is the serial stream; morsel-driven execution gives every
+// morsel a private SimDisk (see MorselContext) and merges the resulting
+// IoStats into the engine's instance in morsel order, so simulated time is a
+// pure function of the morsel decomposition — never of worker interleaving.
+// The instance itself is latch-protected, so incidental concurrent use (e.g.
+// two operators sharing the engine stream) is safe, merely not deterministic.
 
 #ifndef SMOOTHSCAN_STORAGE_SIM_DISK_H_
 #define SMOOTHSCAN_STORAGE_SIM_DISK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -57,6 +66,17 @@ struct IoStats {
   uint64_t bytes_read = 0;      ///< pages_read * page_size.
   double io_time = 0.0;         ///< Simulated time spent in I/O.
 
+  IoStats& operator+=(const IoStats& other) {
+    random_ios += other.random_ios;
+    seq_ios += other.seq_ios;
+    io_requests += other.io_requests;
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    bytes_read += other.bytes_read;
+    io_time += other.io_time;
+    return *this;
+  }
+
   IoStats operator-(const IoStats& other) const {
     IoStats d;
     d.random_ios = random_ios - other.random_ios;
@@ -71,8 +91,7 @@ struct IoStats {
 };
 
 /// Simulated disk: pure cost accounting, no data movement (the data lives in
-/// StorageManager). Not thread-safe; the engine is single-threaded like the
-/// paper's per-query execution.
+/// StorageManager). Latch-protected; see the threading model above.
 class SimDisk {
  public:
   explicit SimDisk(DeviceProfile profile = DeviceProfile::Hdd(),
@@ -92,15 +111,41 @@ class SimDisk {
   /// as reads; counted in `pages_written`.
   void WriteExtent(FileId file, PageId first, uint32_t num_pages);
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the counters (copied under the latch).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
   const DeviceProfile& profile() const { return profile_; }
+
+  /// Places the head of this stream just after `page` of `file`, so the next
+  /// forward access continues sequentially. Morsel-driven execution seeds a
+  /// morsel's private stream at `page_begin - 1`: in the serial execution
+  /// order the preceding page-range morsel ended exactly there, which is what
+  /// keeps the summed parallel cost bit-identical to the serial scan.
+  void SeedPosition(FileId file, PageId page) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_page_[file] = page;
+  }
+
+  /// Adds another stream's counters to this one (morsel merge). Callers merge
+  /// in morsel order so double accumulation stays deterministic.
+  void Absorb(const IoStats& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ += other;
+  }
 
   /// Forgets per-file head positions (e.g. between cold query runs) without
   /// clearing cumulative counters.
-  void ResetPositions() { last_page_.clear(); }
+  void ResetPositions() {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_page_.clear();
+  }
 
   /// Clears counters and positions.
   void ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
     stats_ = IoStats();
     last_page_.clear();
   }
@@ -110,6 +155,7 @@ class SimDisk {
 
   DeviceProfile profile_;
   uint32_t page_size_;
+  mutable std::mutex mu_;
   IoStats stats_;
   std::unordered_map<FileId, PageId> last_page_;
 };

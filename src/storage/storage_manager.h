@@ -5,11 +5,19 @@
 // code (loaders, index construction) accesses pages directly and free of
 // charge, mirroring the paper's setup where data is loaded before the timed,
 // cold-cache query runs.
+//
+// Threading: query-time execution only *reads* pages, so concurrent GetPage
+// calls from parallel workers need no latch and Page pointers stay stable for
+// the pages' lifetime. Structure mutation (CreateFile / AppendPage, including
+// result-cache spill files) is latch-protected but must not overlap parallel
+// query execution on the same engine — spills belong to the serial,
+// order-preserving paths.
 
 #ifndef SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_
 #define SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +66,7 @@ class StorageManager {
   }
 
   uint32_t page_size_;
+  mutable std::mutex mu_;  ///< Guards structure mutation (files/page vectors).
   std::vector<File> files_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "exec/gather.h"
 #include "exec/operators.h"
 
 namespace smoothscan::tpch {
@@ -12,11 +13,25 @@ namespace li = lineitem;
 namespace ord = orders;
 
 /// Builds the LINEITEM access path of `kind` for `pred`, exposing the raw
-/// pointer so stats survive until after the drain.
+/// pointer so stats survive until after the drain. With `dop > 1` the leaf
+/// becomes a morsel-driven parallel scan below a Gather exchange; the rest of
+/// the plan (and its simulated cost) is unchanged — only wall time drops.
 std::unique_ptr<Operator> MakeLineitemScan(const TpchDb& db,
                                            const ScanPredicate& pred,
                                            PathKind kind, bool need_order,
+                                           uint32_t dop,
                                            const AccessPath** out_path) {
+  if (dop >= 1) {
+    ParallelScanOptions parallel;
+    parallel.dop = dop;
+    std::unique_ptr<ParallelScan> par =
+        MakeParallelPath(kind, &db.lineitem_shipdate_index(), pred, need_order,
+                         /*estimate=*/0, parallel);
+    if (par != nullptr) {
+      *out_path = par.get();
+      return std::make_unique<GatherOp>(std::move(par));
+    }
+  }
   std::unique_ptr<AccessPath> path =
       MakePath(kind, &db.lineitem_shipdate_index(), pred, need_order,
                /*estimate=*/0);
@@ -41,7 +56,8 @@ QueryOutput Finish(std::unique_ptr<Operator> root, const AccessPath* li_path) {
 
 }  // namespace
 
-QueryOutput RunQ1(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ1(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   // l_shipdate <= date '1998-12-01' - 90 days.
   ScanPredicate pred;
@@ -51,7 +67,8 @@ QueryOutput RunQ1(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   std::vector<AggSpec> aggs;
   aggs.push_back({AggFn::kSum, [](const Tuple& t) {
@@ -91,7 +108,8 @@ QueryOutput RunQ1(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(sort), li_path);
 }
 
-QueryOutput RunQ4(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ4(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   // LINEITEM side: l_commitdate < l_receiptdate (~65% of the table); the
   // shipdate range is unbounded, so an index-driven path walks the whole
@@ -104,7 +122,8 @@ QueryOutput RunQ4(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   // INLJ with ORDERS on the ORDERS PK; joined = L(14) ++ O(6).
   auto join = std::make_unique<IndexNestedLoopJoinOp>(
@@ -134,7 +153,8 @@ QueryOutput RunQ4(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(sort), li_path);
 }
 
-QueryOutput RunQ6(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ6(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   ScanPredicate pred;
   pred.column = li::kShipDate;
@@ -148,7 +168,8 @@ QueryOutput RunQ6(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   std::vector<AggSpec> aggs;
   aggs.push_back({AggFn::kSum, [](const Tuple& t) {
@@ -160,7 +181,8 @@ QueryOutput RunQ6(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(agg), li_path);
 }
 
-QueryOutput RunQ7(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ7(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   ScanPredicate pred;
   pred.column = li::kShipDate;
@@ -169,7 +191,8 @@ QueryOutput RunQ7(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   // L(14) ++ O(6) = 20 columns.
   auto j1 = std::make_unique<IndexNestedLoopJoinOp>(
@@ -224,7 +247,8 @@ QueryOutput RunQ7(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(sort), li_path);
 }
 
-QueryOutput RunQ14(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ14(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   ScanPredicate pred;
   pred.column = li::kShipDate;
@@ -233,7 +257,8 @@ QueryOutput RunQ14(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   // INLJ with PART on the PART PK; joined = L(14) ++ P(3).
   auto join = std::make_unique<IndexNestedLoopJoinOp>(
@@ -257,7 +282,8 @@ QueryOutput RunQ14(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(agg), li_path);
 }
 
-QueryOutput RunQ12(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ12(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   // Receipt dates within 1994 imply ship dates in a ~14-month window (the
   // index-serviceable part); shipmode and the date ordering are residuals.
@@ -279,7 +305,8 @@ QueryOutput RunQ12(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   // INLJ with ORDERS on the ORDERS PK; joined = L(14) ++ O(6).
   auto join = std::make_unique<IndexNestedLoopJoinOp>(
@@ -301,7 +328,8 @@ QueryOutput RunQ12(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(agg), li_path);
 }
 
-QueryOutput RunQ19(const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQ19(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop) {
   Engine* engine = db.engine();
   // Whole shipdate range; the selective work is the residual + the part
   // branches, which is what made the optimizer's estimate so fragile.
@@ -315,7 +343,8 @@ QueryOutput RunQ19(const TpchDb& db, PathKind lineitem_path) {
 
   const AccessPath* li_path = nullptr;
   std::unique_ptr<Operator> scan =
-      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, &li_path);
+      MakeLineitemScan(db, pred, lineitem_path, /*need_order=*/false, dop,
+                       &li_path);
 
   // INLJ with PART; joined = L(14) ++ P(3).
   auto join = std::make_unique<IndexNestedLoopJoinOp>(
@@ -343,22 +372,23 @@ QueryOutput RunQ19(const TpchDb& db, PathKind lineitem_path) {
   return Finish(std::move(agg), li_path);
 }
 
-QueryOutput RunQuery(int query, const TpchDb& db, PathKind lineitem_path) {
+QueryOutput RunQuery(int query, const TpchDb& db, PathKind lineitem_path,
+                     uint32_t dop) {
   switch (query) {
     case 1:
-      return RunQ1(db, lineitem_path);
+      return RunQ1(db, lineitem_path, dop);
     case 4:
-      return RunQ4(db, lineitem_path);
+      return RunQ4(db, lineitem_path, dop);
     case 6:
-      return RunQ6(db, lineitem_path);
+      return RunQ6(db, lineitem_path, dop);
     case 7:
-      return RunQ7(db, lineitem_path);
+      return RunQ7(db, lineitem_path, dop);
     case 12:
-      return RunQ12(db, lineitem_path);
+      return RunQ12(db, lineitem_path, dop);
     case 14:
-      return RunQ14(db, lineitem_path);
+      return RunQ14(db, lineitem_path, dop);
     case 19:
-      return RunQ19(db, lineitem_path);
+      return RunQ19(db, lineitem_path, dop);
     default:
       SMOOTHSCAN_CHECK(false);
   }

@@ -22,33 +22,45 @@ struct QueryOutput {
 
 /// Pricing-summary report: ~98% of LINEITEM, aggregation by
 /// (returnflag, linestatus).
-QueryOutput RunQ1(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ1(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
 /// Order-priority checking: LINEITEM semi-joins ORDERS (INLJ on the ORDERS
 /// PK); LINEITEM residual selectivity ~65%.
-QueryOutput RunQ4(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ4(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
 /// Forecasting-revenue change: single-table selection, ~2% of LINEITEM.
-QueryOutput RunQ6(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ6(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
 /// Volume shipping: 6-table join (LINEITEM, ORDERS, CUSTOMER, SUPPLIER,
 /// NATION x2); LINEITEM shipdate selectivity ~30%.
-QueryOutput RunQ7(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ7(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
 /// Promotion effect: LINEITEM (~1%) INLJ PART on the PART PK.
-QueryOutput RunQ14(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ14(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
 /// Shipping-modes-and-order-priority: the query whose tuned plan regressed
 /// 400x in the paper's Fig. 1. LINEITEM shipdate window ~17% with shipmode /
 /// date-ordering residuals, INLJ ORDERS, priority-class counts.
-QueryOutput RunQ12(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ12(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
 /// Discounted-revenue (disjunctive part/quantity predicate; 20x regression
 /// in Fig. 1): LINEITEM INLJ PART with an OR of three branch conditions.
-QueryOutput RunQ19(const TpchDb& db, PathKind lineitem_path);
+QueryOutput RunQ19(const TpchDb& db, PathKind lineitem_path,
+                  uint32_t dop = 0);
 
-/// Dispatch by query number (1, 4, 6, 7, 12, 14, 19).
-QueryOutput RunQuery(int query, const TpchDb& db, PathKind lineitem_path);
+/// Dispatch by query number (1, 4, 6, 7, 12, 14, 19). `dop` selects the
+/// LINEITEM leaf's execution model: 0 (default) runs the serial operator as
+/// the paper does; dop >= 1 runs the morsel-driven parallel variant below a
+/// Gather exchange with that many workers — the parallel plan's simulated
+/// cost is DOP-invariant, so 1 vs. 8 isolates the wall-clock effect.
+QueryOutput RunQuery(int query, const TpchDb& db, PathKind lineitem_path,
+                     uint32_t dop = 0);
 
 /// The access path plain PostgreSQL chose in the paper's experiment.
 PathKind PlainPostgresChoice(int query);

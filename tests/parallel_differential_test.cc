@@ -1,0 +1,361 @@
+// Parallel differential testing: every parallel access path must produce
+// exactly the serial Full-Scan oracle's tuple multiset, and its *simulated*
+// cost must be a pure function of the morsel decomposition — bit-identical
+// engine accounting at DOP 1, 2 and 8 across all five paths and all three
+// morph policies. The page-range parallel full scan goes further: its summed
+// charges equal the serial scan's exactly. Also covers the Close()/re-Open()
+// contract of the parallel paths, the task scheduler, and the per-worker
+// deterministic Rng streams.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+
+#include "access/full_scan.h"
+#include "access/page_id_cache.h"
+#include "access/parallel_scan.h"
+#include "common/rng.h"
+#include "exec/gather.h"
+#include "exec/operators.h"
+#include "exec/task_scheduler.h"
+#include "workload/micro_bench.h"
+
+namespace smoothscan {
+namespace {
+
+/// Engine counter deltas of one measured run.
+struct CostSnapshot {
+  IoStats io;
+  double cpu = 0.0;
+  uint64_t tuples = 0;
+
+  void ExpectBitIdentical(const CostSnapshot& other, const char* label) const {
+    EXPECT_EQ(io.io_requests, other.io.io_requests) << label;
+    EXPECT_EQ(io.random_ios, other.io.random_ios) << label;
+    EXPECT_EQ(io.seq_ios, other.io.seq_ios) << label;
+    EXPECT_EQ(io.pages_read, other.io.pages_read) << label;
+    EXPECT_EQ(io.bytes_read, other.io.bytes_read) << label;
+    EXPECT_EQ(io.io_time, other.io.io_time) << label;  // Exact, not NEAR.
+    EXPECT_EQ(cpu, other.cpu) << label;                // Exact, not NEAR.
+    EXPECT_EQ(tuples, other.tuples) << label;
+  }
+};
+
+/// Runs `path` cold to completion, checking the result multiset (of c1)
+/// against `oracle`, and returns the engine cost. Counters are cleared first:
+/// accumulating identical charge sequences onto *different* meter bases
+/// shifts double rounding, so bit-identity is defined from a zeroed meter.
+CostSnapshot RunAndCheck(Engine* engine, AccessPath* path,
+                         const std::multiset<int64_t>& oracle,
+                         const char* label) {
+  engine->ColdRestart();
+  engine->disk().ResetAll();
+  engine->cpu().Reset();
+  EXPECT_TRUE(path->Open().ok()) << label;
+  std::multiset<int64_t> got;
+  TupleBatch batch;
+  while (path->NextBatch(&batch)) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      got.insert(batch.row(i)[0].AsInt64());
+    }
+  }
+  path->Close();
+  EXPECT_EQ(got, oracle) << label;
+  CostSnapshot snap;
+  snap.io = engine->disk().stats();
+  snap.cpu = engine->cpu().time();
+  snap.tuples = got.size();
+  return snap;
+}
+
+class ParallelDifferentialTest : public ::testing::Test {
+ protected:
+  ParallelDifferentialTest() {
+    EngineOptions eo;
+    eo.buffer_pool_pages = 512;
+    engine_ = std::make_unique<Engine>(eo);
+    MicroBenchSpec spec;
+    spec.num_tuples = 30000;
+    spec.value_max = 4000;
+    spec.seed = 17;
+    db_ = std::make_unique<MicroBenchDb>(engine_.get(), spec);
+  }
+
+  std::multiset<int64_t> Oracle(const ScanPredicate& pred) const {
+    std::multiset<int64_t> oracle;
+    db_->heap().ForEachDirect([&](Tid, const Tuple& t) {
+      if (pred.Matches(t)) oracle.insert(t[0].AsInt64());
+    });
+    return oracle;
+  }
+
+  ParallelScanOptions Par(uint32_t dop) const {
+    ParallelScanOptions o;
+    o.dop = dop;
+    o.morsel_pages = 64;
+    o.max_key_morsels = 13;  // Odd count exercises uneven deals + stealing.
+    return o;
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<MicroBenchDb> db_;
+};
+
+constexpr uint32_t kDops[] = {1, 2, 8};
+constexpr double kSelectivities[] = {0.001, 0.05, 0.5, 1.0};
+
+TEST_F(ParallelDifferentialTest, FullScanMatchesSerialBitForBit) {
+  for (const double sel : kSelectivities) {
+    const ScanPredicate pred = db_->PredicateForSelectivity(sel);
+    const std::multiset<int64_t> oracle = Oracle(pred);
+
+    FullScan serial(&db_->heap(), pred);
+    const CostSnapshot serial_cost =
+        RunAndCheck(engine_.get(), &serial, oracle, "serial FullScan");
+
+    CostSnapshot dop1;
+    for (const uint32_t dop : kDops) {
+      auto par = MakeParallelFullScan(&db_->heap(), pred, FullScanOptions(),
+                                      Par(dop));
+      const CostSnapshot cost =
+          RunAndCheck(engine_.get(), par.get(), oracle, "ParallelFullScan");
+      // The page-range decomposition with seeded streams reproduces the
+      // serial charges exactly; CPU differs only in float summation order.
+      EXPECT_EQ(cost.io.io_requests, serial_cost.io.io_requests);
+      EXPECT_EQ(cost.io.random_ios, serial_cost.io.random_ios);
+      EXPECT_EQ(cost.io.seq_ios, serial_cost.io.seq_ios);
+      EXPECT_EQ(cost.io.pages_read, serial_cost.io.pages_read);
+      EXPECT_EQ(cost.io.io_time, serial_cost.io.io_time);
+      EXPECT_NEAR(cost.cpu, serial_cost.cpu, 1e-9 * (1.0 + serial_cost.cpu));
+      if (dop == 1) {
+        dop1 = cost;
+      } else {
+        cost.ExpectBitIdentical(dop1, "FullScan DOP invariance");
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, IndexScanDopInvariant) {
+  for (const double sel : kSelectivities) {
+    const ScanPredicate pred = db_->PredicateForSelectivity(sel);
+    const std::multiset<int64_t> oracle = Oracle(pred);
+    CostSnapshot dop1;
+    for (const uint32_t dop : kDops) {
+      auto par = MakeParallelIndexScan(&db_->index(), pred, Par(dop));
+      const CostSnapshot cost =
+          RunAndCheck(engine_.get(), par.get(), oracle, "ParallelIndexScan");
+      if (dop == 1) {
+        dop1 = cost;
+      } else {
+        cost.ExpectBitIdentical(dop1, "IndexScan DOP invariance");
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, SortScanDopInvariant) {
+  for (const double sel : kSelectivities) {
+    const ScanPredicate pred = db_->PredicateForSelectivity(sel);
+    const std::multiset<int64_t> oracle = Oracle(pred);
+    CostSnapshot dop1;
+    for (const uint32_t dop : kDops) {
+      auto par = MakeParallelSortScan(&db_->index(), pred, SortScanOptions(),
+                                      Par(dop));
+      const CostSnapshot cost =
+          RunAndCheck(engine_.get(), par.get(), oracle, "ParallelSortScan");
+      if (dop == 1) {
+        dop1 = cost;
+      } else {
+        cost.ExpectBitIdentical(dop1, "SortScan DOP invariance");
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, SwitchScanDopInvariant) {
+  for (const double sel : kSelectivities) {
+    const ScanPredicate pred = db_->PredicateForSelectivity(sel);
+    const std::multiset<int64_t> oracle = Oracle(pred);
+    // Estimates below, at and above the true cardinality: unswitched,
+    // boundary and switched executions all covered.
+    for (const uint64_t estimate :
+         {uint64_t{0}, oracle.size() / 2, oracle.size() + 10}) {
+      SwitchScanOptions so;
+      so.estimated_cardinality = estimate;
+      CostSnapshot dop1;
+      for (const uint32_t dop : kDops) {
+        auto par = MakeParallelSwitchScan(&db_->index(), pred, so, Par(dop));
+        const CostSnapshot cost = RunAndCheck(engine_.get(), par.get(), oracle,
+                                              "ParallelSwitchScan");
+        if (dop == 1) {
+          dop1 = cost;
+        } else {
+          cost.ExpectBitIdentical(dop1, "SwitchScan DOP invariance");
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, SmoothScanDopInvariantAcrossPolicies) {
+  for (const MorphPolicy policy :
+       {MorphPolicy::kGreedy, MorphPolicy::kSelectivityIncrease,
+        MorphPolicy::kElastic}) {
+    for (const double sel : kSelectivities) {
+      const ScanPredicate pred = db_->PredicateForSelectivity(sel);
+      const std::multiset<int64_t> oracle = Oracle(pred);
+      SmoothScanOptions so;
+      so.policy = policy;
+      CostSnapshot dop1;
+      for (const uint32_t dop : kDops) {
+        auto par = MakeParallelSmoothScan(&db_->index(), pred, so, Par(dop));
+        const CostSnapshot cost = RunAndCheck(engine_.get(), par.get(), oracle,
+                                              "ParallelSmoothScan");
+        if (dop == 1) {
+          dop1 = cost;
+        } else {
+          cost.ExpectBitIdentical(
+              dop1, MorphPolicyToString(policy));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, ResidualPredicatesSurviveParallelism) {
+  ScanPredicate pred = db_->PredicateForSelectivity(0.3);
+  pred.residual = [](const Tuple& t) { return t[2].AsInt64() % 3 != 0; };
+  const std::multiset<int64_t> oracle = Oracle(pred);
+  auto full = MakeParallelFullScan(&db_->heap(), pred, FullScanOptions(),
+                                   Par(8));
+  RunAndCheck(engine_.get(), full.get(), oracle, "full+residual");
+  auto index = MakeParallelIndexScan(&db_->index(), pred, Par(8));
+  RunAndCheck(engine_.get(), index.get(), oracle, "index+residual");
+  auto smooth = MakeParallelSmoothScan(&db_->index(), pred,
+                                       SmoothScanOptions(), Par(8));
+  RunAndCheck(engine_.get(), smooth.get(), oracle, "smooth+residual");
+}
+
+TEST_F(ParallelDifferentialTest, CloseAndReopenRestartsCleanly) {
+  const ScanPredicate pred = db_->PredicateForSelectivity(0.5);
+  const std::multiset<int64_t> oracle = Oracle(pred);
+  auto par = MakeParallelSmoothScan(&db_->index(), pred, SmoothScanOptions(),
+                                    Par(4));
+
+  // Drain a few batches, abandon mid-stream, close.
+  engine_->ColdRestart();
+  ASSERT_TRUE(par->Open().ok());
+  TupleBatch batch;
+  for (int i = 0; i < 3 && par->NextBatch(&batch); ++i) {
+  }
+  par->Close();
+
+  // Re-open: the second cycle must produce the full result from scratch.
+  RunAndCheck(engine_.get(), par.get(), oracle, "re-open after Close");
+  // And a *third* full cycle right after a completed one; stats() must
+  // report the current cycle only, not carry the previous cycles' counters.
+  RunAndCheck(engine_.get(), par.get(), oracle, "second re-open");
+  EXPECT_EQ(par->stats().tuples_produced, oracle.size());
+}
+
+TEST_F(ParallelDifferentialTest, GatherComposesWithSerialOperatorsAbove) {
+  const ScanPredicate pred = db_->PredicateForSelectivity(0.4);
+  const std::multiset<int64_t> oracle = Oracle(pred);
+  engine_->ColdRestart();
+  auto gather = std::make_unique<GatherOp>(
+      MakeParallelFullScan(&db_->heap(), pred, FullScanOptions(), Par(8)));
+  // Serial filter above the exchange boundary.
+  FilterOp filter(engine_.get(), std::move(gather), [](const Tuple& t) {
+    return t[0].AsInt64() % 2 == 0;
+  });
+  ASSERT_TRUE(filter.Open().ok());
+  std::multiset<int64_t> got;
+  Tuple t;
+  while (filter.Next(&t)) got.insert(t[0].AsInt64());
+  filter.Close();
+  std::multiset<int64_t> expected;
+  for (const int64_t v : oracle) {
+    if (v % 2 == 0) expected.insert(v);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// ---------- TaskScheduler ----------
+
+TEST(TaskSchedulerTest, RunsEveryTaskExactlyOnce) {
+  TaskScheduler scheduler(4);
+  std::atomic<int> count{0};
+  std::vector<TaskScheduler::Task> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  scheduler.Submit(std::move(tasks))->Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskSchedulerTest, GroupsCanOverlap) {
+  TaskScheduler scheduler(3);
+  std::atomic<int> a{0}, b{0};
+  auto ga = scheduler.Submit({[&a] { a.fetch_add(1); },
+                              [&a] { a.fetch_add(1); }});
+  auto gb = scheduler.Submit({[&b] { b.fetch_add(1); }});
+  ga->Wait();
+  gb->Wait();
+  EXPECT_EQ(a.load(), 2);
+  EXPECT_EQ(b.load(), 1);
+}
+
+TEST(TaskSchedulerTest, WorkerRngStreamsAreReproducibleAndDistinct) {
+  TaskScheduler s1(4, /*rng_seed=*/99);
+  TaskScheduler s2(4, /*rng_seed=*/99);
+  for (uint32_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(s1.worker_rng(w)->Next(), s2.worker_rng(w)->Next())
+        << "worker " << w;
+  }
+  TaskScheduler s3(2, /*rng_seed=*/100);
+  EXPECT_NE(s1.worker_rng(0)->Next(), s3.worker_rng(0)->Next());
+}
+
+TEST(RngForkTest, DeterministicAndDecorrelated) {
+  Rng root(42);
+  Rng a = root.Fork(0);
+  Rng b = root.Fork(1);
+  Rng a2 = Rng(42).Fork(0);
+  EXPECT_EQ(a.Next(), a2.Next());
+  EXPECT_NE(a.Next(), b.Next());
+  EXPECT_NE(Rng(42).Fork(0).Next(), Rng(43).Fork(0).Next());
+}
+
+// ---------- ConcurrentPageIdCache ----------
+
+TEST(ConcurrentPageIdCacheTest, MarkReportsFirstMarkOnly) {
+  ConcurrentPageIdCache cache(200);
+  EXPECT_FALSE(cache.IsMarked(63));
+  EXPECT_TRUE(cache.Mark(63));
+  EXPECT_FALSE(cache.Mark(63));
+  EXPECT_TRUE(cache.IsMarked(63));
+  EXPECT_FALSE(cache.IsMarked(64));  // Word boundary neighbour untouched.
+  EXPECT_TRUE(cache.Mark(64));
+  EXPECT_TRUE(cache.IsMarked(64));
+}
+
+TEST(ConcurrentPageIdCacheTest, ConcurrentDisjointMarking) {
+  ConcurrentPageIdCache cache(1024);
+  TaskScheduler scheduler(8);
+  std::vector<TaskScheduler::Task> tasks;
+  for (uint32_t t = 0; t < 8; ++t) {
+    tasks.push_back([&cache, t] {
+      for (PageId p = t * 128; p < (t + 1) * 128; ++p) {
+        EXPECT_TRUE(cache.Mark(p));
+      }
+    });
+  }
+  scheduler.Submit(std::move(tasks))->Wait();
+  for (PageId p = 0; p < 1024; ++p) EXPECT_TRUE(cache.IsMarked(p));
+}
+
+}  // namespace
+}  // namespace smoothscan

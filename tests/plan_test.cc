@@ -110,6 +110,46 @@ TEST_F(PlanTest, OrderRequirementPenalizesScans) {
   EXPECT_NE(with.kind, PathKind::kFullScan);
 }
 
+TEST_F(PlanTest, DopScalesWallEstimateNotSimulatedCost) {
+  const CostModel model = Model();
+  ChooserOptions serial;
+  const PlanChoice at1 = AccessPathChooser::Choose(*stats_, model, 0, 90000,
+                                                   serial);
+  ChooserOptions eight;
+  eight.dop = 8;
+  const PlanChoice at8 = AccessPathChooser::Choose(*stats_, model, 0, 90000,
+                                                   eight);
+  // Simulated cost is DOP-invariant; only the wall estimate shrinks.
+  EXPECT_DOUBLE_EQ(at8.estimated_cost, at1.estimated_cost);
+  EXPECT_LT(at8.estimated_wall_cost, at1.estimated_cost);
+  EXPECT_DOUBLE_EQ(at1.estimated_wall_cost, at1.estimated_cost);
+  EXPECT_EQ(at8.dop, 8u);
+}
+
+TEST_F(PlanTest, MakePathWithDopReturnsParallelVariant) {
+  const ScanPredicate pred = db_->PredicateForSelectivity(0.05);
+  ParallelScanOptions parallel;
+  parallel.dop = 4;
+  for (const PathKind kind :
+       {PathKind::kFullScan, PathKind::kIndexScan, PathKind::kSortScan,
+        PathKind::kSwitchScan, PathKind::kSmoothScan}) {
+    std::unique_ptr<AccessPath> path =
+        MakePath(kind, &db_->index(), pred, false, 100, parallel);
+    ASSERT_NE(path, nullptr) << PathKindToString(kind);
+    engine_->ColdRestart();
+    ASSERT_TRUE(path->Open().ok());
+    Tuple t;
+    uint64_t n = 0;
+    while (path->Next(&t)) ++n;
+    EXPECT_GT(n, 0u) << PathKindToString(kind);
+    path->Close();
+  }
+  // Order-preserving consumers keep the serial operator.
+  EXPECT_EQ(MakeParallelPath(PathKind::kSmoothScan, &db_->index(), pred,
+                             /*need_order=*/true, 100, parallel),
+            nullptr);
+}
+
 TEST_F(PlanTest, MakePathConstructsEveryKind) {
   const ScanPredicate pred = db_->PredicateForSelectivity(0.01);
   for (const PathKind kind :

@@ -273,7 +273,10 @@ TEST_F(BufferPoolTest, MissThenHit) {
 }
 
 TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
-  BufferPool pool(&storage_, &disk_, 2);
+  // A single shard pins the exact global-LRU eviction order (morsel-local
+  // pools are built this way); the sharded default only promises per-shard
+  // LRU within the aggregate capacity bound.
+  BufferPool pool(&storage_, &disk_, 2, /*num_shards=*/1);
   pool.Fetch(file_, 0);
   pool.Fetch(file_, 1);
   pool.Fetch(file_, 0);  // 0 is now MRU.
@@ -281,6 +284,56 @@ TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
   EXPECT_TRUE(pool.Contains(file_, 0));
   EXPECT_FALSE(pool.Contains(file_, 1));
   EXPECT_TRUE(pool.Contains(file_, 2));
+}
+
+TEST_F(BufferPoolTest, PinBlocksEvictionUntilReleased) {
+  BufferPool pool(&storage_, &disk_, 2, /*num_shards=*/1);
+  PageGuard guard = pool.Fetch(file_, 0);  // Pinned: LRU but unevictable.
+  pool.Fetch(file_, 1);
+  pool.Fetch(file_, 2);  // Must evict 1, not the pinned 0.
+  EXPECT_TRUE(pool.Contains(file_, 0));
+  EXPECT_FALSE(pool.Contains(file_, 1));
+  EXPECT_TRUE(pool.Contains(file_, 2));
+  guard.Release();
+  pool.Fetch(file_, 3);  // 0 is LRU and now unpinned: evicted.
+  EXPECT_FALSE(pool.Contains(file_, 0));
+}
+
+TEST_F(BufferPoolTest, GuardKeepsPageReadableAcrossFlush) {
+  BufferPool pool(&storage_, &disk_, 16);
+  PageGuard guard = pool.Fetch(file_, 7);
+  EXPECT_EQ(pool.FlushAll(), 1u);  // Skip + report, never invalidate.
+  EXPECT_TRUE(pool.Contains(file_, 7));
+  EXPECT_EQ(guard->num_slots(), 0u);  // Still dereferenceable.
+  guard.Release();
+  EXPECT_EQ(pool.FlushAll(), 0u);
+  EXPECT_FALSE(pool.Contains(file_, 7));
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCounted) {
+  BufferPool pool(&storage_, &disk_, 16);
+  PageGuard a = pool.Fetch(file_, 1);
+  PageGuard b = pool.Pin(file_, 2);
+  EXPECT_EQ(pool.pinned_pages(), 2u);
+  PageGuard moved = std::move(a);
+  EXPECT_EQ(pool.pinned_pages(), 2u);  // Moving transfers, not duplicates.
+  moved.Release();
+  b.Release();
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, PinDoesNotChargeOrCount) {
+  BufferPool pool(&storage_, &disk_, 16);
+  const double t = disk_.stats().io_time;
+  PageGuard g = pool.Pin(file_, 3);
+  EXPECT_DOUBLE_EQ(disk_.stats().io_time, t);
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 0u);
+}
+
+TEST_F(BufferPoolTest, ShardedCapacityBoundRespected) {
+  BufferPool pool(&storage_, &disk_, 8);  // Default shard count.
+  for (PageId p = 0; p < 64; ++p) pool.Fetch(file_, p);
+  EXPECT_LE(pool.size(), 8u);
 }
 
 TEST_F(BufferPoolTest, FlushAllMakesNextAccessCold) {
