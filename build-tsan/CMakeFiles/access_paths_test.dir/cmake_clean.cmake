@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_paths_test.dir/tests/access_paths_test.cc.o"
+  "CMakeFiles/access_paths_test.dir/tests/access_paths_test.cc.o.d"
+  "access_paths_test"
+  "access_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_differential_test.dir/tests/batch_differential_test.cc.o"
+  "CMakeFiles/batch_differential_test.dir/tests/batch_differential_test.cc.o.d"
+  "batch_differential_test"
+  "batch_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_region_cap.dir/bench/bench_ablation_region_cap.cc.o"
+  "CMakeFiles/bench_ablation_region_cap.dir/bench/bench_ablation_region_cap.cc.o.d"
+  "bench_ablation_region_cap"
+  "bench_ablation_region_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_region_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

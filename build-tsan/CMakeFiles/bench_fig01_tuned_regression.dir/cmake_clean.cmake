@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_tuned_regression.dir/bench/bench_fig01_tuned_regression.cc.o"
+  "CMakeFiles/bench_fig01_tuned_regression.dir/bench/bench_fig01_tuned_regression.cc.o.d"
+  "bench_fig01_tuned_regression"
+  "bench_fig01_tuned_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_tuned_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

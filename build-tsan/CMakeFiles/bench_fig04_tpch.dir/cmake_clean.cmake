@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_tpch.dir/bench/bench_fig04_tpch.cc.o"
+  "CMakeFiles/bench_fig04_tpch.dir/bench/bench_fig04_tpch.cc.o.d"
+  "bench_fig04_tpch"
+  "bench_fig04_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

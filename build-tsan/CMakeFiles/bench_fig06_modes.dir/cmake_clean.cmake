@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_modes.dir/bench/bench_fig06_modes.cc.o"
+  "CMakeFiles/bench_fig06_modes.dir/bench/bench_fig06_modes.cc.o.d"
+  "bench_fig06_modes"
+  "bench_fig06_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

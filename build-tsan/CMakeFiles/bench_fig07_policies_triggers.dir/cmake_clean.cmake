@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_policies_triggers.dir/bench/bench_fig07_policies_triggers.cc.o"
+  "CMakeFiles/bench_fig07_policies_triggers.dir/bench/bench_fig07_policies_triggers.cc.o.d"
+  "bench_fig07_policies_triggers"
+  "bench_fig07_policies_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_policies_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

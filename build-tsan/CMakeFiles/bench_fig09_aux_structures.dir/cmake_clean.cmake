@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_aux_structures.dir/bench/bench_fig09_aux_structures.cc.o"
+  "CMakeFiles/bench_fig09_aux_structures.dir/bench/bench_fig09_aux_structures.cc.o.d"
+  "bench_fig09_aux_structures"
+  "bench_fig09_aux_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_aux_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ssd.dir/bench/bench_fig10_ssd.cc.o"
+  "CMakeFiles/bench_fig10_ssd.dir/bench/bench_fig10_ssd.cc.o.d"
+  "bench_fig10_ssd"
+  "bench_fig10_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

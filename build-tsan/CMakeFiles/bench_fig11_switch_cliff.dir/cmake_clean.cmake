@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_switch_cliff.dir/bench/bench_fig11_switch_cliff.cc.o"
+  "CMakeFiles/bench_fig11_switch_cliff.dir/bench/bench_fig11_switch_cliff.cc.o.d"
+  "bench_fig11_switch_cliff"
+  "bench_fig11_switch_cliff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_switch_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

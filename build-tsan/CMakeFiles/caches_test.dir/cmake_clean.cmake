@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caches_test.dir/tests/caches_test.cc.o"
+  "CMakeFiles/caches_test.dir/tests/caches_test.cc.o.d"
+  "caches_test"
+  "caches_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caches_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphing_join.dir/examples/morphing_join.cpp.o"
+  "CMakeFiles/morphing_join.dir/examples/morphing_join.cpp.o.d"
+  "morphing_join"
+  "morphing_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphing_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_tpch.dir/examples/robust_tpch.cpp.o"
+  "CMakeFiles/robust_tpch.dir/examples/robust_tpch.cpp.o.d"
+  "robust_tpch"
+  "robust_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_adaptive.dir/examples/skew_adaptive.cpp.o"
+  "CMakeFiles/skew_adaptive.dir/examples/skew_adaptive.cpp.o.d"
+  "skew_adaptive"
+  "skew_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

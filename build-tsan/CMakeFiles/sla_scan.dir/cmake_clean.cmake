@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_scan.dir/examples/sla_scan.cpp.o"
+  "CMakeFiles/sla_scan.dir/examples/sla_scan.cpp.o.d"
+  "sla_scan"
+  "sla_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

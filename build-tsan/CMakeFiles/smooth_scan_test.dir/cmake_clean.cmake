@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smooth_scan_test.dir/tests/smooth_scan_test.cc.o"
+  "CMakeFiles/smooth_scan_test.dir/tests/smooth_scan_test.cc.o.d"
+  "smooth_scan_test"
+  "smooth_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smooth_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

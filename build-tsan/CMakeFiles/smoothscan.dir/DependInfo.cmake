@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/access_path.cc" "CMakeFiles/smoothscan.dir/src/access/access_path.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/access_path.cc.o.d"
+  "/root/repo/src/access/full_scan.cc" "CMakeFiles/smoothscan.dir/src/access/full_scan.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/full_scan.cc.o.d"
+  "/root/repo/src/access/index_scan.cc" "CMakeFiles/smoothscan.dir/src/access/index_scan.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/index_scan.cc.o.d"
+  "/root/repo/src/access/morsel_source.cc" "CMakeFiles/smoothscan.dir/src/access/morsel_source.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/morsel_source.cc.o.d"
+  "/root/repo/src/access/parallel_scan.cc" "CMakeFiles/smoothscan.dir/src/access/parallel_scan.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/parallel_scan.cc.o.d"
+  "/root/repo/src/access/result_cache.cc" "CMakeFiles/smoothscan.dir/src/access/result_cache.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/result_cache.cc.o.d"
+  "/root/repo/src/access/smooth_scan.cc" "CMakeFiles/smoothscan.dir/src/access/smooth_scan.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/smooth_scan.cc.o.d"
+  "/root/repo/src/access/sort_scan.cc" "CMakeFiles/smoothscan.dir/src/access/sort_scan.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/sort_scan.cc.o.d"
+  "/root/repo/src/access/switch_scan.cc" "CMakeFiles/smoothscan.dir/src/access/switch_scan.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/access/switch_scan.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/smoothscan.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/smoothscan.dir/src/common/status.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "CMakeFiles/smoothscan.dir/src/common/types.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/common/types.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "CMakeFiles/smoothscan.dir/src/cost/cost_model.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/cost/cost_model.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "CMakeFiles/smoothscan.dir/src/exec/merge_join.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/exec/merge_join.cc.o.d"
+  "/root/repo/src/exec/morphing_index_join.cc" "CMakeFiles/smoothscan.dir/src/exec/morphing_index_join.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/exec/morphing_index_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "CMakeFiles/smoothscan.dir/src/exec/operator.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/exec/operator.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "CMakeFiles/smoothscan.dir/src/exec/operators.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/exec/operators.cc.o.d"
+  "/root/repo/src/exec/task_scheduler.cc" "CMakeFiles/smoothscan.dir/src/exec/task_scheduler.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/exec/task_scheduler.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "CMakeFiles/smoothscan.dir/src/index/bplus_tree.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/index/bplus_tree.cc.o.d"
+  "/root/repo/src/plan/access_path_chooser.cc" "CMakeFiles/smoothscan.dir/src/plan/access_path_chooser.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/plan/access_path_chooser.cc.o.d"
+  "/root/repo/src/plan/table_stats.cc" "CMakeFiles/smoothscan.dir/src/plan/table_stats.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/plan/table_stats.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "CMakeFiles/smoothscan.dir/src/storage/buffer_pool.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "CMakeFiles/smoothscan.dir/src/storage/heap_file.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "CMakeFiles/smoothscan.dir/src/storage/page.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/storage/page.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "CMakeFiles/smoothscan.dir/src/storage/schema.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/storage/schema.cc.o.d"
+  "/root/repo/src/storage/sim_disk.cc" "CMakeFiles/smoothscan.dir/src/storage/sim_disk.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/storage/sim_disk.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "CMakeFiles/smoothscan.dir/src/storage/storage_manager.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/storage/storage_manager.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "CMakeFiles/smoothscan.dir/src/tpch/queries.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/tpch/queries.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "CMakeFiles/smoothscan.dir/src/tpch/tpch_gen.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/tpch/tpch_gen.cc.o.d"
+  "/root/repo/src/workload/micro_bench.cc" "CMakeFiles/smoothscan.dir/src/workload/micro_bench.cc.o" "gcc" "CMakeFiles/smoothscan.dir/src/workload/micro_bench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for smoothscan.
+# This may be replaced when dependencies are built.
