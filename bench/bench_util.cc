@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace smoothscan::bench {
@@ -15,6 +16,7 @@ struct JsonRecorder {
     std::string series;
     double sel_pct;
     RunMetrics m;
+    std::vector<ExtraField> extras;
   };
   std::vector<Row> rows;
 
@@ -23,7 +25,14 @@ struct JsonRecorder {
   void Write() {
     if (!open) return;
     open = false;
-    const std::string path = "BENCH_" + name + ".json";
+    // Benches run from arbitrary build directories; SMOOTHSCAN_BENCH_DIR
+    // routes the JSON to one collection point (the repo root in CI) so the
+    // perf trajectory actually accumulates instead of landing in each cwd.
+    std::string path = "BENCH_" + name + ".json";
+    if (const char* dir = std::getenv("SMOOTHSCAN_BENCH_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name.c_str());
@@ -34,14 +43,18 @@ struct JsonRecorder {
           "    {\"series\": \"%s\", \"sel_pct\": %.6f, \"sim_time\": %.6f, "
           "\"io_time\": %.6f, \"cpu_time\": %.6f, \"io_requests\": %llu, "
           "\"random_ios\": %llu, \"seq_ios\": %llu, \"pages_read\": %llu, "
-          "\"tuples\": %llu, \"wall_ms\": %.3f, \"threads\": %u}%s\n",
+          "\"tuples\": %llu, \"wall_ms\": %.3f, \"threads\": %u",
           r.series.c_str(), r.sel_pct, r.m.total_time, r.m.io_time,
           r.m.cpu_time, static_cast<unsigned long long>(r.m.io_requests),
           static_cast<unsigned long long>(r.m.random_ios),
           static_cast<unsigned long long>(r.m.seq_ios),
           static_cast<unsigned long long>(r.m.pages_read),
           static_cast<unsigned long long>(r.m.tuples), r.m.wall_ms,
-          r.m.threads, i + 1 < rows.size() ? "," : "");
+          r.m.threads);
+      for (const ExtraField& e : r.extras) {
+        std::fprintf(f, ", \"%s\": %.6f", e.key.c_str(), e.value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -65,7 +78,14 @@ void OpenJson(const std::string& bench_name) {
 void RecordRow(const std::string& series, double selectivity_percent,
                const RunMetrics& m) {
   if (!Recorder().open) return;
-  Recorder().rows.push_back({series, selectivity_percent, m});
+  Recorder().rows.push_back({series, selectivity_percent, m, {}});
+}
+
+void RecordRowExtra(const std::string& series, double selectivity_percent,
+                    const RunMetrics& m, std::vector<ExtraField> extras) {
+  if (!Recorder().open) return;
+  Recorder().rows.push_back(
+      {series, selectivity_percent, m, std::move(extras)});
 }
 
 void CloseJson() { Recorder().Write(); }

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "access/access_path.h"
 #include "storage/engine.h"
@@ -71,12 +72,23 @@ void PrintSweepRow(double selectivity_percent, const std::string& series,
 
 /// Machine-readable results: after OpenJson("fig05"), every PrintSweepRow /
 /// RecordRow lands in an in-memory table that CloseJson() (or process exit)
-/// writes to BENCH_fig05.json next to the binary — one row per measured
-/// series point with simulated cost, wall milliseconds and thread count, so
-/// the perf trajectory is diffable across PRs.
+/// writes to BENCH_fig05.json — one row per measured series point with
+/// simulated cost, wall milliseconds and thread count, so the perf
+/// trajectory is diffable across PRs. The file lands in $SMOOTHSCAN_BENCH_DIR
+/// when that is set (CI collects the repo-root trajectory this way), else in
+/// the current working directory.
 void OpenJson(const std::string& bench_name);
 void RecordRow(const std::string& series, double selectivity_percent,
                const RunMetrics& m);
+
+/// Extra numeric fields appended to one JSON row (throughput, percentiles,
+/// client counts — whatever the bench sweeps beyond the standard metrics).
+struct ExtraField {
+  std::string key;
+  double value;
+};
+void RecordRowExtra(const std::string& series, double selectivity_percent,
+                    const RunMetrics& m, std::vector<ExtraField> extras);
 void CloseJson();
 
 }  // namespace smoothscan::bench

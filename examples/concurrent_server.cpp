@@ -1,0 +1,99 @@
+// Concurrent server: many queries, one engine — admission control, an SLA
+// priority lane and per-query accounting over the shared scheduler and
+// buffer pool.
+//
+//   $ ./build/concurrent_server
+//
+// The example submits a burst of mixed-selectivity batch queries plus a few
+// SLA-lane point queries to a QueryEngine capped at 3 concurrently admitted
+// queries, then prints each query's queue wait, wall latency and simulated
+// cost — the SLA queries overtake the queued batch work — and finishes with
+// a closed-loop workload comparison: a statistics-trusting optimizer fed
+// drifting selectivities and 100x-stale estimates vs. the
+// statistics-oblivious Smooth Scan policy, at workload level (throughput and
+// tail latency instead of single-query cost).
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "exec/task_scheduler.h"
+#include "workload/workload_driver.h"
+
+using namespace smoothscan;
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 1024;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 150000;
+  MicroBenchDb db(&engine, spec);
+
+  // One shared data-plane pool; admission caps the control plane at 3.
+  TaskScheduler scheduler(4);
+  QueryEngineOptions qeo;
+  qeo.max_admitted = 3;
+  qeo.scheduler = &scheduler;
+  QueryEngine qe(&engine, qeo);
+
+  // 1. A burst: eight batch queries across the selectivity range, then three
+  //    SLA point queries submitted *after* the queue has formed.
+  std::printf("=== burst: 8 batch + 3 SLA queries, admission cap 3 ===\n");
+  struct Tagged {
+    const char* tag;
+    QueryEngine::QueryId id;
+  };
+  std::vector<Tagged> submitted;
+  const double batch_sels[] = {0.8, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05};
+  for (const double sel : batch_sels) {
+    QuerySpec q;
+    q.index = &db.index();
+    q.predicate = db.PredicateForSelectivity(sel);
+    q.kind = PathKind::kSmoothScan;
+    submitted.push_back({"batch", qe.Submit(q)});
+  }
+  for (int i = 0; i < 3; ++i) {
+    QuerySpec q;
+    q.index = &db.index();
+    q.predicate = db.PredicateForSelectivity(0.001);
+    q.kind = PathKind::kIndexScan;
+    q.lane = QueryLane::kSla;
+    submitted.push_back({"SLA", qe.Submit(q)});
+  }
+
+  std::printf("%-6s %-12s %10s %10s %12s %10s\n", "lane", "path", "queue_ms",
+              "wall_ms", "sim_cost", "tuples");
+  for (const Tagged& t : submitted) {
+    const QueryResult r = qe.Wait(t.id);
+    SMOOTHSCAN_CHECK(r.status.ok());
+    std::printf("%-6s %-12s %10.2f %10.2f %12.1f %10llu\n", t.tag,
+                PathKindToString(r.metrics.kind), r.metrics.queue_wait_ms,
+                r.metrics.latency_ms, r.metrics.sim_time,
+                static_cast<unsigned long long>(r.metrics.tuples));
+  }
+
+  // 2. Closed-loop workload: 4 clients replay a drifting stream whose
+  //    optimizer statistics lie by up to 1000x in the later phases.
+  std::printf("\n=== closed loop: 4 clients, drifting stream, lying stats ===\n");
+  std::printf("%-10s %8s %10s %10s %10s %14s\n", "policy", "qps", "p50_ms",
+              "p99_ms", "queue_ms", "sim_cost");
+  WorkloadDriver driver(&engine, &db, &qe);
+  for (const DriverPolicy policy :
+       {DriverPolicy::kOptimizer, DriverPolicy::kSmoothScan,
+        DriverPolicy::kFullScan}) {
+    WorkloadOptions wo;
+    wo.clients = 4;
+    wo.policy = policy;
+    wo.phases = WorkloadOptions::DriftingPhases(/*queries_per_phase=*/3);
+    const WorkloadReport report = driver.Run(wo);
+    std::printf("%-10s %8.1f %10.2f %10.2f %10.2f %14.1f\n",
+                DriverPolicyToString(policy), report.qps,
+                report.p50_latency_ms, report.p99_latency_ms,
+                report.mean_queue_ms, report.total_sim_time);
+  }
+  std::printf("\nThe optimizer's tail explodes once the stats go stale; the "
+              "statistics-oblivious\npolicy holds p99 across every phase — "
+              "the paper's robustness claim, at stream scale.\n");
+  return 0;
+}

@@ -39,6 +39,10 @@ ParallelScan::ParallelScan(Engine* engine,
     : engine_(engine), kernel_(std::move(kernel)), options_(options) {
   SMOOTHSCAN_CHECK(options_.dop >= 1);
   SMOOTHSCAN_CHECK(options_.morsel_pages >= 1);
+  // Half-redirected accounting would silently split a query's charges
+  // between its private stack and the engine's shared stream.
+  SMOOTHSCAN_CHECK((options_.account_disk == nullptr) ==
+                   (options_.account_cpu == nullptr));
 }
 
 ParallelScan::~ParallelScan() {
@@ -84,7 +88,7 @@ Status ParallelScan::OpenImpl() {
 
   // Serial prolog on the planning stream. Workers are not running yet, so the
   // prolog emits into slot 0 without locking concerns.
-  planning_ = std::make_unique<MorselContext>(engine_);
+  planning_ = std::make_unique<MorselContext>(engine_, options_.mirror_pool);
   std::vector<TupleBatch> prolog;
   std::vector<Morsel> morsels = kernel_->Plan(
       planning_->ctx(),
@@ -100,7 +104,8 @@ Status ParallelScan::OpenImpl() {
   morsel_stats_.resize(morsels.size());
   contexts_.reserve(morsels.size());
   for (size_t i = 0; i < morsels.size(); ++i) {
-    contexts_.push_back(std::make_unique<MorselContext>(engine_));
+    contexts_.push_back(
+        std::make_unique<MorselContext>(engine_, options_.mirror_pool));
   }
   source_ = std::make_unique<MorselSource>(std::move(morsels));
   if (source_->size() == 0) return Status::OK();
@@ -184,12 +189,16 @@ void ParallelScan::Finalize() {
   // Merge in deterministic order: prolog stream first, then morsel streams by
   // index. This fixes the floating-point accumulation order, so engine-level
   // simulated time is bit-identical at any DOP.
+  SimDisk* disk = options_.account_disk != nullptr ? options_.account_disk
+                                                   : &engine_->disk();
+  CpuMeter* cpu = options_.account_cpu != nullptr ? options_.account_cpu
+                                                  : &engine_->cpu();
   stats_ = AccessPathStats();
   Accumulate(&stats_, prolog_stats_);
-  if (planning_ != nullptr) planning_->MergeIntoEngine();
+  if (planning_ != nullptr) planning_->MergeInto(disk, cpu);
   for (size_t i = 0; i < contexts_.size(); ++i) {
     Accumulate(&stats_, morsel_stats_[i]);
-    contexts_[i]->MergeIntoEngine();
+    contexts_[i]->MergeInto(disk, cpu);
   }
   planning_.reset();
   contexts_.clear();

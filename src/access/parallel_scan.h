@@ -64,6 +64,16 @@ struct ParallelScanOptions {
   uint32_t max_key_morsels = 32;
   /// Optional shared worker pool; the scan owns a private one when null.
   TaskScheduler* scheduler = nullptr;
+  /// Where the settled per-morsel accounting merges (both set, or neither —
+  /// enforced). Null: the engine's shared stream, as before. The multi-query
+  /// engine points these at the query's private stack so that concurrent
+  /// queries never interleave their merges into one meter.
+  SimDisk* account_disk = nullptr;
+  CpuMeter* account_cpu = nullptr;
+  /// Optional shared pool mirrored by every morsel (and planning) pool, so a
+  /// parallel query's residency and pins land in it too (no accounting
+  /// there). See BufferPool::SetMirror.
+  BufferPool* mirror_pool = nullptr;
 };
 
 /// The path-specific logic of a parallel scan. Plan() runs serially on the

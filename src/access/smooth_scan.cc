@@ -40,24 +40,30 @@ uint32_t MorphRegionStep(MorphPolicy policy, uint32_t region_pages,
               static_cast<double>(pages_seen_before) >=
           static_cast<double>(pages_with_results_before) *
               static_cast<double>(region_pages_seen);
+  // Counters record *actual* morphing activity: a step that leaves the region
+  // at the cap (or an Elastic halving already at one page) is a no-op and
+  // must not count — otherwise Fig. 7's expansion/shrink series overstate how
+  // much the operator morphed once the region saturates.
+  const uint32_t grown = std::min(region_pages * 2, max_region_pages);
+  const uint32_t shrunk = std::max(region_pages / 2, 1u);
   switch (policy) {
     case MorphPolicy::kGreedy:
-      region_pages = std::min(region_pages * 2, max_region_pages);
-      ++*expansions;
+      if (grown != region_pages) ++*expansions;
+      region_pages = grown;
       break;
     case MorphPolicy::kSelectivityIncrease:
       if (denser) {
-        region_pages = std::min(region_pages * 2, max_region_pages);
-        ++*expansions;
+        if (grown != region_pages) ++*expansions;
+        region_pages = grown;
       }
       break;
     case MorphPolicy::kElastic:
       if (denser) {
-        region_pages = std::min(region_pages * 2, max_region_pages);
-        ++*expansions;
+        if (grown != region_pages) ++*expansions;
+        region_pages = grown;
       } else {
-        region_pages = std::max(region_pages / 2, 1u);
-        ++*shrinks;
+        if (shrunk != region_pages) ++*shrinks;
+        region_pages = shrunk;
       }
       break;
   }

@@ -1,0 +1,222 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smoothscan {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+const char* QueryLaneToString(QueryLane lane) {
+  switch (lane) {
+    case QueryLane::kBatch:
+      return "batch";
+    case QueryLane::kSla:
+      return "sla";
+  }
+  return "?";
+}
+
+QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
+    : engine_(engine), options_(options) {
+  SMOOTHSCAN_CHECK(options_.max_admitted >= 1);
+  executors_.reserve(options_.max_admitted);
+  for (uint32_t i = 0; i < options_.max_admitted; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_submit_.notify_all();
+  for (std::thread& t : executors_) t.join();
+}
+
+QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
+  SMOOTHSCAN_CHECK(spec.index != nullptr);
+  SMOOTHSCAN_CHECK(!spec.use_chooser ||
+                   (spec.stats != nullptr && spec.cost_model != nullptr));
+  Pending p;
+  p.spec = std::move(spec);
+  p.submitted = std::chrono::steady_clock::now();
+  QueryId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    p.id = id;
+    records_[id];  // Reserve the completion slot.
+    ++outstanding_;
+    lanes_[static_cast<int>(p.spec.lane)].push_back(std::move(p));
+  }
+  cv_submit_.notify_one();
+  return id;
+}
+
+QueryResult QueryEngine::Wait(QueryId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  SMOOTHSCAN_CHECK(it != records_.end());
+  // The reference survives rehashing from concurrent Submits (iterators
+  // would not).
+  Record& rec = it->second;
+  cv_done_.wait(lock, [&] { return rec.done; });
+  QueryResult result = std::move(rec.result);
+  records_.erase(id);
+  return result;
+}
+
+void QueryEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+size_t QueryEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_[0].size() + lanes_[1].size();
+}
+
+uint32_t QueryEngine::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_now_;
+}
+
+uint32_t QueryEngine::peak_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_admitted_;
+}
+
+uint64_t QueryEngine::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void QueryEngine::ExecutorLoop() {
+  for (;;) {
+    Pending p;
+    std::chrono::steady_clock::time_point admit_time;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_submit_.wait(lock, [&] {
+        return shutdown_ || !lanes_[0].empty() || !lanes_[1].empty();
+      });
+      // Drain remaining queries before honoring shutdown, like the task
+      // scheduler does for its deques.
+      if (lanes_[0].empty() && lanes_[1].empty()) return;
+      std::deque<Pending>& lane =
+          !lanes_[static_cast<int>(QueryLane::kSla)].empty()
+              ? lanes_[static_cast<int>(QueryLane::kSla)]
+              : lanes_[static_cast<int>(QueryLane::kBatch)];
+      p = std::move(lane.front());
+      lane.pop_front();
+      ++admitted_now_;
+      peak_admitted_ = std::max(peak_admitted_, admitted_now_);
+      admit_time = std::chrono::steady_clock::now();
+    }
+
+    QueryResult result = Execute(std::move(p.spec));
+    const auto end = std::chrono::steady_clock::now();
+    result.metrics.queue_wait_ms = MsBetween(p.submitted, admit_time);
+    result.metrics.exec_ms = MsBetween(admit_time, end);
+    result.metrics.latency_ms = MsBetween(p.submitted, end);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --admitted_now_;
+      ++completed_;
+      --outstanding_;
+      Record& rec = records_[p.id];
+      rec.result = std::move(result);
+      rec.done = true;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+QueryResult QueryEngine::Execute(QuerySpec spec) {
+  QueryResult res;
+  QueryMetrics& m = res.metrics;
+  m.lane = spec.lane;
+
+  // Plan: reuse the cost-based chooser per stream query. With corrupted stats
+  // the choice (and the estimate handed to the path) is faithfully wrong —
+  // the paper's mis-estimation scenario, replayed at stream scale.
+  PathKind kind = spec.kind;
+  uint64_t estimate = spec.estimate;
+  if (spec.use_chooser) {
+    ChooserOptions copts;
+    copts.need_order = spec.need_order;
+    copts.dop = std::max<uint32_t>(1, spec.dop);
+    const PlanChoice choice =
+        AccessPathChooser::Choose(*spec.stats, *spec.cost_model,
+                                  spec.predicate.lo, spec.predicate.hi, copts);
+    kind = choice.kind;
+    estimate = choice.estimated_cardinality;
+  }
+  m.kind = kind;
+
+  // Per-query accounting stack; page pins mirror into the shared pool.
+  QueryContext qctx(engine_,
+                    options_.mirror_pages ? &engine_->pool() : nullptr);
+
+  std::unique_ptr<AccessPath> path;
+  if (spec.dop >= 1) {
+    ParallelScanOptions po;
+    po.dop = spec.dop;
+    po.scheduler = options_.scheduler;
+    po.account_disk = &qctx.disk();
+    po.account_cpu = &qctx.cpu();
+    po.mirror_pool = options_.mirror_pages ? &engine_->pool() : nullptr;
+    path = MakeParallelPath(kind, spec.index, spec.predicate, spec.need_order,
+                            estimate, po);
+    m.parallel = path != nullptr;
+  }
+  if (path == nullptr) {
+    path = MakePath(kind, spec.index, spec.predicate, spec.need_order,
+                    estimate);
+    path->SetExecContext(&qctx.ctx());
+  }
+
+  res.status = path->Open();
+  if (!res.status.ok()) return res;
+  TupleBatch batch;
+  while (path->NextBatch(&batch)) {
+    m.tuples += batch.size();
+    if (spec.collect_keys) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        res.keys.push_back(batch.row(i)[0].AsInt64());
+      }
+    }
+  }
+  path->Close();
+
+  const IoStats io = qctx.disk().stats();
+  m.io_time = io.io_time;
+  m.cpu_time = qctx.cpu().time();
+  m.sim_time = m.io_time + m.cpu_time;
+  m.io_requests = io.io_requests;
+  m.random_ios = io.random_ios;
+  m.seq_ios = io.seq_ios;
+  m.pages_read = io.pages_read;
+  return res;
+}
+
+double LatencyPercentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size());
+  size_t i = static_cast<size_t>(std::ceil(rank));
+  i = std::min(std::max<size_t>(i, 1), values.size());
+  return values[i - 1];
+}
+
+}  // namespace smoothscan

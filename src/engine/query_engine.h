@@ -1,0 +1,180 @@
+// QueryEngine: concurrent multi-query execution over one shared substrate —
+// the workload-level layer of the paper's robustness story. A server facing
+// many queries with mis-estimated selectivities must not cliff, so the engine
+// runs *streams* of queries, not one query, over the shared TaskScheduler
+// (intra-query morsel work) and the shared BufferPool (page residency and
+// pinning), while every query charges a private QueryContext accounting stack
+// (see exec_context.h) — which is what keeps each query's simulated cost
+// bit-identical to a solo cold run at any admission level.
+//
+// Control plane vs. data plane:
+//   * Submit() appends the query to a submission queue with two lanes —
+//     a FIFO batch lane and an SLA lane that jumps it (admission-level
+//     priority, the workload analogue of the paper's SLA-driven trigger).
+//   * Admission control caps the number of *concurrently admitted* queries:
+//     the engine owns `max_admitted` executor threads, each running at most
+//     one query end to end, so the cap holds by construction. Queued queries
+//     accrue queue-wait time, reported per query.
+//   * Intra-query parallel leaves (QuerySpec::dop >= 1) submit their morsels
+//     to the shared TaskScheduler; the scheduler's round-robin deal and work
+//     stealing interleave morsels of *different* queries across one fixed
+//     worker pool, so no single query monopolizes the cores.
+//
+// Determinism contract: admission order, lane priority and scheduling change
+// *when* a query runs and how long it waits — never what it computes or what
+// it is charged. The concurrent differential test pins this: equal result
+// multisets and bit-identical per-query simulated cost between a solo run and
+// a run with 8 concurrently admitted queries.
+
+#ifndef SMOOTHSCAN_ENGINE_QUERY_ENGINE_H_
+#define SMOOTHSCAN_ENGINE_QUERY_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/access_path_chooser.h"
+#include "storage/exec_context.h"
+
+namespace smoothscan {
+
+/// Submission lanes. kSla queries are admitted before any queued kBatch
+/// query; within a lane admission is FIFO.
+enum class QueryLane { kBatch = 0, kSla = 1 };
+
+const char* QueryLaneToString(QueryLane lane);
+
+/// One query: a selection over an indexed table, with either a fixed access
+/// path or the cost-based chooser run against (possibly lying) statistics.
+struct QuerySpec {
+  const BPlusTree* index = nullptr;
+  ScanPredicate predicate;
+
+  /// Pick the path with AccessPathChooser over `stats` + `cost_model` (both
+  /// required then); the estimate handed to the path (Switch Scan threshold,
+  /// Smooth Scan trigger) is the chooser's — faithfully wrong when the stats
+  /// are corrupted. When false, `kind` and `estimate` are used as given.
+  bool use_chooser = false;
+  PathKind kind = PathKind::kSmoothScan;
+  const TableStats* stats = nullptr;
+  const CostModel* cost_model = nullptr;
+  uint64_t estimate = 0;
+
+  bool need_order = false;
+  /// 0: the serial operator. >= 1: the morsel-driven parallel variant with
+  /// this many workers on the engine's shared scheduler (serial fallback when
+  /// the combination has no parallel form).
+  uint32_t dop = 0;
+  QueryLane lane = QueryLane::kBatch;
+  /// Collect column-0 values into QueryResult::keys (differential tests).
+  bool collect_keys = false;
+};
+
+/// Per-query accounting, the workload-level analogue of bench RunMetrics.
+struct QueryMetrics {
+  double queue_wait_ms = 0.0;  ///< Submit → admission.
+  double exec_ms = 0.0;        ///< Admission → completion (wall).
+  double latency_ms = 0.0;     ///< Submit → completion (wall).
+  double sim_time = 0.0;       ///< Simulated cost (io_time + cpu_time).
+  double io_time = 0.0;
+  double cpu_time = 0.0;
+  uint64_t io_requests = 0;
+  uint64_t random_ios = 0;
+  uint64_t seq_ios = 0;
+  uint64_t pages_read = 0;
+  uint64_t tuples = 0;
+  PathKind kind = PathKind::kFullScan;  ///< Path actually run.
+  bool parallel = false;                ///< Morsel-driven leaf was used.
+  QueryLane lane = QueryLane::kBatch;
+};
+
+struct QueryResult {
+  Status status = Status::OK();
+  QueryMetrics metrics;
+  std::vector<int64_t> keys;  ///< Column-0 values (QuerySpec::collect_keys).
+};
+
+struct QueryEngineOptions {
+  /// Cap on concurrently-admitted queries (= executor threads).
+  uint32_t max_admitted = 4;
+  /// Shared data-plane worker pool for intra-query morsels. Null: a query
+  /// with dop >= 1 spins up a private pool (standalone use; prefer sharing).
+  TaskScheduler* scheduler = nullptr;
+  /// Mirror every page a query touches into the engine's shared buffer pool
+  /// (pinned for the access's lifetime) — real residency contention without
+  /// perturbing per-query accounting. See BufferPool::SetMirror.
+  bool mirror_pages = true;
+};
+
+class QueryEngine {
+ public:
+  using QueryId = uint64_t;
+
+  QueryEngine(Engine* engine, QueryEngineOptions options);
+  /// Drains queued and running queries, then joins the executors.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues the query; returns immediately with its completion handle.
+  QueryId Submit(QuerySpec spec);
+
+  /// Blocks until query `id` completes and takes its result (each id can be
+  /// waited on exactly once).
+  QueryResult Wait(QueryId id);
+
+  /// Blocks until every query submitted so far has completed.
+  void Drain();
+
+  // Observability (values are instantaneous snapshots).
+  size_t queue_depth() const;
+  uint32_t admitted() const;      ///< Queries executing right now.
+  uint32_t peak_admitted() const; ///< High-water mark; never exceeds the cap.
+  uint64_t completed() const;
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    QueryId id = 0;
+    QuerySpec spec;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  struct Record {
+    QueryResult result;
+    bool done = false;
+  };
+
+  void ExecutorLoop();
+  QueryResult Execute(QuerySpec spec);
+
+  Engine* engine_;
+  QueryEngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_submit_;  ///< Executors wait for work here.
+  std::condition_variable cv_done_;    ///< Wait()/Drain() wait here.
+  std::deque<Pending> lanes_[2];       ///< Indexed by QueryLane.
+  std::unordered_map<QueryId, Record> records_;
+  QueryId next_id_ = 1;
+  bool shutdown_ = false;
+  uint32_t admitted_now_ = 0;
+  uint32_t peak_admitted_ = 0;
+  uint64_t outstanding_ = 0;  ///< Submitted, not yet completed.
+  uint64_t completed_ = 0;
+
+  std::vector<std::thread> executors_;
+};
+
+/// Nearest-rank percentile of `values` (q in [0, 1]); 0 on empty input.
+/// Sorts a copy — fine for per-run latency vectors.
+double LatencyPercentile(std::vector<double> values, double q);
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_ENGINE_QUERY_ENGINE_H_

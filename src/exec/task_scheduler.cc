@@ -60,6 +60,13 @@ std::shared_ptr<TaskScheduler::TaskGroup> TaskScheduler::Submit(
   return group;
 }
 
+size_t TaskScheduler::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& w : workers_) n += w->tasks.size();
+  return n;
+}
+
 Rng* TaskScheduler::worker_rng(uint32_t worker_id) {
   SMOOTHSCAN_CHECK(worker_id < workers_.size());
   return &workers_[worker_id]->rng;

@@ -75,6 +75,11 @@ class TaskScheduler {
   /// exact value depends on timing).
   uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
+  /// Tasks currently queued across all deques, excluding those already
+  /// running (observability for admission-control and bench reporting; the
+  /// value is stale the moment it is read).
+  size_t pending_tasks() const;
+
  private:
   struct Worker {
     std::deque<std::pair<std::shared_ptr<TaskGroup>, Task>> tasks;
@@ -89,7 +94,7 @@ class TaskScheduler {
   // One latch guards all deques: contention is per-task (morsels are
   // thousands of tuples each), far off any hot path. The stealing *policy*
   // stays per-deque; the latch is an implementation shortcut.
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
   size_t next_deal_ = 0;

@@ -28,6 +28,44 @@ BufferPool::BufferPool(StorageManager* storage, SimDisk* disk,
   }
 }
 
+void BufferPool::SetMirror(BufferPool* mirror) {
+  SMOOTHSCAN_CHECK(mirror != this);
+  SMOOTHSCAN_CHECK(mirror == nullptr || mirror->mirror_ == nullptr);
+  mirror_ = mirror;
+}
+
+void BufferPool::PinKey(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    ++it->second.pins;
+  } else {
+    InsertLocked(&shard, key);
+    ++shard.map[key].pins;
+  }
+}
+
+void BufferPool::UnpinKey(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  SMOOTHSCAN_CHECK(it != shard.map.end() && it->second.pins > 0);
+  --it->second.pins;
+}
+
+void BufferPool::TouchKey(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  } else {
+    InsertLocked(&shard, key);
+  }
+}
+
 bool BufferPool::Contains(FileId file, PageId page) const {
   const uint64_t key = Key(file, page);
   const Shard& shard = ShardFor(key);
@@ -71,6 +109,7 @@ PageGuard BufferPool::Fetch(FileId file, PageId page) {
   }
   // Charge outside the shard latch; SimDisk serializes internally.
   if (miss) disk_->ReadPage(file, page);
+  if (mirror_ != nullptr) mirror_->PinKey(key);
   return PageGuard(this, key, &storage_->GetPage(file, page));
 }
 
@@ -88,19 +127,31 @@ PageGuard BufferPool::Pin(FileId file, PageId page) {
       ++shard.map[key].pins;
     }
   }
+  if (mirror_ != nullptr) mirror_->PinKey(key);
   return PageGuard(this, key, &storage_->GetPage(file, page));
 }
 
 void BufferPool::Unpin(uint64_t key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  SMOOTHSCAN_CHECK(it != shard.map.end() && it->second.pins > 0);
-  --it->second.pins;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    SMOOTHSCAN_CHECK(it != shard.map.end() && it->second.pins > 0);
+    --it->second.pins;
+  }
+  // One mirror pin was taken per local pin, so the release is symmetric.
+  if (mirror_ != nullptr) mirror_->UnpinKey(key);
 }
 
 void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
   if (num_pages == 0) return;
+  if (mirror_ != nullptr) {
+    // Residency lands in the shared pool too; no pins (the extent API takes
+    // none locally either) and no charge.
+    for (uint32_t i = 0; i < num_pages; ++i) {
+      mirror_->TouchKey(Key(file, first + i));
+    }
+  }
   // Checks residency and records the hit under one latch acquisition, so a
   // concurrent eviction between the check and the touch cannot bite.
   auto touch_if_resident = [&](PageId p) -> bool {

@@ -115,6 +115,18 @@ class BufferPool {
   /// True when the page is resident (no I/O charged; no LRU update).
   bool Contains(FileId file, PageId page) const;
 
+  /// Mirrors this pool's residency and pins into `mirror` (typically the
+  /// engine's shared pool): every page this pool fetches or pins is also
+  /// pinned in the mirror for the guard's lifetime, and extent prefetches
+  /// touch the mirror's LRU — with no I/O charge or hit/miss accounting
+  /// there. This is how the multi-query engine splits the two planes: a
+  /// query's *cost* flows through its private stack (bit-identical to a solo
+  /// run), while its *memory residency* lands in the one shared pool, where
+  /// concurrent queries genuinely contend on shard latches, LRU state and pin
+  /// counts. Must be set before the first fetch; pass null to detach. The
+  /// mirror itself must not have a mirror.
+  void SetMirror(BufferPool* mirror);
+
   /// Aggregated over shards (copied under the shard latches).
   BufferPoolStats stats() const;
 
@@ -159,9 +171,16 @@ class BufferPool {
   void InsertLocked(Shard* shard, uint64_t key);
   void Unpin(uint64_t key);
 
+  /// Mirror-side primitives: insert-or-touch `key` (optionally taking a pin),
+  /// with no disk charge and no hit/miss accounting.
+  void PinKey(uint64_t key);
+  void UnpinKey(uint64_t key);
+  void TouchKey(uint64_t key);
+
   StorageManager* storage_;
   SimDisk* disk_;
   size_t capacity_;
+  BufferPool* mirror_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -39,12 +39,15 @@ inline ExecContext EngineContext(Engine* engine) {
 /// accumulated doubles bit-identical across degrees of parallelism.
 class MorselContext {
  public:
-  explicit MorselContext(Engine* engine)
+  /// `mirror` (optional, typically the engine's shared pool) receives the
+  /// morsel's residency and pins — see BufferPool::SetMirror.
+  explicit MorselContext(Engine* engine, BufferPool* mirror = nullptr)
       : engine_(engine),
         disk_(engine->options().device, engine->options().page_size),
         pool_(&engine->storage(), &disk_, engine->options().buffer_pool_pages,
               /*num_shards=*/1),
         cpu_(engine->options().cpu_costs) {
+    pool_.SetMirror(mirror);
     ctx_.storage = &engine->storage();
     ctx_.pool = &pool_;
     ctx_.cpu = &cpu_;
@@ -59,15 +62,60 @@ class MorselContext {
   BufferPool& pool() { return pool_; }
   CpuMeter& cpu() { return cpu_; }
 
-  /// Folds this stream's accounting into the engine the context was built
-  /// from. Call exactly once per context, in morsel order.
-  void MergeIntoEngine() {
-    engine_->disk().Absorb(disk_.stats());
-    engine_->cpu().Add(cpu_.time());
+  /// Folds this stream's accounting into an arbitrary sink (the engine's
+  /// shared stream, or a query's private stack under the multi-query engine).
+  /// Call exactly once per context, in morsel order.
+  void MergeInto(SimDisk* disk, CpuMeter* cpu) {
+    disk->Absorb(disk_.stats());
+    cpu->Add(cpu_.time());
   }
+
+  /// MergeInto the engine the context was built from.
+  void MergeIntoEngine() { MergeInto(&engine_->disk(), &engine_->cpu()); }
 
  private:
   Engine* engine_;
+  SimDisk disk_;
+  BufferPool pool_;
+  CpuMeter cpu_;
+  ExecContext ctx_;
+};
+
+/// The per-query accounting stack of the multi-query engine: a private
+/// simulated disk, a private buffer pool with the *engine's* capacity and
+/// shard count (so a single query observes exactly the hit/miss sequence a
+/// solo cold run against the engine pool would), and a private CPU meter —
+/// all starting cold and zeroed. Because the stack is private, a query's
+/// simulated cost is a pure function of the query and the data: bit-identical
+/// no matter how many queries run beside it. Page *data* still comes from the
+/// shared StorageManager, and when `mirror` is given (the engine's shared
+/// pool) every fetch additionally pins its page there, so concurrent queries
+/// contend for the one real pool without perturbing each other's accounting.
+class QueryContext {
+ public:
+  explicit QueryContext(Engine* engine, BufferPool* mirror = nullptr)
+      : disk_(engine->options().device, engine->options().page_size),
+        pool_(&engine->storage(), &disk_, engine->options().buffer_pool_pages),
+        cpu_(engine->options().cpu_costs) {
+    pool_.SetMirror(mirror);
+    ctx_.storage = &engine->storage();
+    ctx_.pool = &pool_;
+    ctx_.cpu = &cpu_;
+    ctx_.disk = &disk_;
+  }
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  const ExecContext& ctx() const { return ctx_; }
+  SimDisk& disk() { return disk_; }
+  BufferPool& pool() { return pool_; }
+  CpuMeter& cpu() { return cpu_; }
+
+  /// Total simulated time charged to this query so far (I/O + CPU).
+  double TotalTime() const { return disk_.stats().io_time + cpu_.time(); }
+
+ private:
   SimDisk disk_;
   BufferPool pool_;
   CpuMeter cpu_;

@@ -1,0 +1,167 @@
+#include "workload/workload_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "plan/table_stats.h"
+
+namespace smoothscan {
+
+const char* DriverPolicyToString(DriverPolicy policy) {
+  switch (policy) {
+    case DriverPolicy::kOptimizer:
+      return "optimizer";
+    case DriverPolicy::kSmoothScan:
+      return "smooth";
+    case DriverPolicy::kFullScan:
+      return "full";
+    case DriverPolicy::kIndexScan:
+      return "index";
+  }
+  return "?";
+}
+
+std::vector<StreamPhase> WorkloadOptions::DriftingPhases(
+    uint32_t queries_per_phase) {
+  // Phase 1: point-ish queries the frozen statistics estimate fine.
+  StreamPhase trickle;
+  trickle.selectivity_lo = 0.0005;
+  trickle.selectivity_hi = 0.002;
+  trickle.estimate_error = 1.0;
+  trickle.queries = queries_per_phase;
+  // Phase 2: the workload drifts to mid selectivity but the statistics lag
+  // 100x behind — the optimizer keeps picking index-driven paths.
+  StreamPhase drifted;
+  drifted.selectivity_lo = 0.05;
+  drifted.selectivity_hi = 0.2;
+  drifted.estimate_error = 0.01;
+  drifted.queries = queries_per_phase;
+  // Phase 3: reporting-style queries, estimates off by 1000x.
+  StreamPhase report;
+  report.selectivity_lo = 0.5;
+  report.selectivity_hi = 1.0;
+  report.estimate_error = 0.001;
+  report.queries = queries_per_phase;
+  return {trickle, drifted, report};
+}
+
+WorkloadDriver::WorkloadDriver(Engine* engine, const MicroBenchDb* db,
+                               QueryEngine* qe)
+    : engine_(engine), db_(db), qe_(qe) {}
+
+QuerySpec WorkloadDriver::SpecFor(const StreamPhase& phase, double selectivity,
+                                  const TableStats* phase_stats,
+                                  const CostModel* model,
+                                  const WorkloadOptions& options) const {
+  QuerySpec spec;
+  spec.index = &db_->index();
+  spec.predicate = db_->PredicateForSelectivity(selectivity);
+  spec.dop = options.dop;
+  spec.lane = phase.lane;
+  switch (options.policy) {
+    case DriverPolicy::kOptimizer:
+      spec.use_chooser = true;
+      spec.stats = phase_stats;
+      spec.cost_model = model;
+      break;
+    case DriverPolicy::kSmoothScan:
+      spec.kind = PathKind::kSmoothScan;
+      break;
+    case DriverPolicy::kFullScan:
+      spec.kind = PathKind::kFullScan;
+      break;
+    case DriverPolicy::kIndexScan:
+      spec.kind = PathKind::kIndexScan;
+      break;
+  }
+  return spec;
+}
+
+WorkloadReport WorkloadDriver::Run(const WorkloadOptions& options) {
+  SMOOTHSCAN_CHECK(options.clients >= 1);
+  SMOOTHSCAN_CHECK(!options.phases.empty());
+
+  // Statistics are computed once (the paper's frozen-stats scenario) and
+  // corrupted per phase; each phase owns its copy so concurrent clients of
+  // different phases never share mutable stats.
+  const TableStats base =
+      TableStats::Compute(db_->heap(), MicroBenchDb::kIndexedColumn);
+  std::vector<TableStats> phase_stats;
+  phase_stats.reserve(options.phases.size());
+  for (const StreamPhase& phase : options.phases) {
+    phase_stats.push_back(base);
+    phase_stats.back().CorruptScale(phase.estimate_error);
+  }
+  CostModelParams params;
+  params.num_tuples = db_->heap().num_tuples();
+  params.tuple_size =
+      engine_->options().page_size /
+      std::max<uint64_t>(1, db_->heap().num_tuples() / db_->heap().num_pages());
+  params.page_size = engine_->options().page_size;
+  params.rand_cost = engine_->options().device.rand_cost;
+  params.seq_cost = engine_->options().device.seq_cost;
+  const CostModel model(params);
+
+  // Closed loop: each client thread submits one query, waits for it, then
+  // submits the next — the queue depth the engine sees is bounded by the
+  // client count, and queue wait only appears once clients outnumber the
+  // admission cap.
+  std::vector<std::vector<QueryMetrics>> per_client(options.clients);
+  const Rng root(options.seed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (uint32_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng = root.Fork(c);
+      std::vector<QueryMetrics>& out = per_client[c];
+      for (size_t ph = 0; ph < options.phases.size(); ++ph) {
+        const StreamPhase& phase = options.phases[ph];
+        for (uint32_t q = 0; q < phase.queries; ++q) {
+          const double sel = rng.UniformDouble(phase.selectivity_lo,
+                                               phase.selectivity_hi);
+          const QueryEngine::QueryId id = qe_->Submit(
+              SpecFor(phase, sel, &phase_stats[ph], &model, options));
+          QueryResult result = qe_->Wait(id);
+          SMOOTHSCAN_CHECK(result.status.ok());
+          out.push_back(result.metrics);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  WorkloadReport report;
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  std::vector<double> latencies;
+  for (const std::vector<QueryMetrics>& metrics : per_client) {
+    for (const QueryMetrics& m : metrics) {
+      ++report.queries;
+      report.tuples += m.tuples;
+      report.total_sim_time += m.sim_time;
+      report.mean_latency_ms += m.latency_ms;
+      report.mean_queue_ms += m.queue_wait_ms;
+      report.max_latency_ms = std::max(report.max_latency_ms, m.latency_ms);
+      ++report.path_counts[static_cast<int>(m.kind)];
+      latencies.push_back(m.latency_ms);
+      report.per_query.push_back(m);
+    }
+  }
+  if (report.queries > 0) {
+    report.mean_latency_ms /= static_cast<double>(report.queries);
+    report.mean_queue_ms /= static_cast<double>(report.queries);
+  }
+  if (report.wall_ms > 0.0) {
+    report.qps = static_cast<double>(report.queries) / (report.wall_ms / 1e3);
+  }
+  report.p50_latency_ms = LatencyPercentile(latencies, 0.50);
+  report.p95_latency_ms = LatencyPercentile(latencies, 0.95);
+  report.p99_latency_ms = LatencyPercentile(latencies, 0.99);
+  return report;
+}
+
+}  // namespace smoothscan

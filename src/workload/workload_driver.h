@@ -1,0 +1,108 @@
+// WorkloadDriver: the paper's robustness experiment lifted from one query to
+// a *stream*. A closed loop of N concurrent clients replays phases of
+// queries over the micro-benchmark table through a shared QueryEngine; each
+// phase shifts the selectivity range and corrupts the optimizer statistics by
+// a phase-specific factor (the "lying estimates" that make a cost-based
+// chooser pick the wrong path). Policies compare the statistics-trusting
+// optimizer against the statistics-oblivious Smooth Scan (and fixed-path
+// baselines) at workload level: queries/second and latency percentiles
+// instead of single-query cost.
+//
+// Determinism: every client draws its selectivities from an Rng forked off
+// (seed, client id), so the *set* of queries a configuration runs is exactly
+// repeatable; only queueing and wall-clock vary with scheduling.
+
+#ifndef SMOOTHSCAN_WORKLOAD_WORKLOAD_DRIVER_H_
+#define SMOOTHSCAN_WORKLOAD_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "workload/micro_bench.h"
+
+namespace smoothscan {
+
+/// One phase of the stream each client replays, in order.
+struct StreamPhase {
+  /// Per-query selectivity is drawn uniform in [selectivity_lo, _hi] —
+  /// shifting the window across phases models the drifting workloads the
+  /// optimizer's frozen statistics cannot follow.
+  double selectivity_lo = 0.01;
+  double selectivity_hi = 0.1;
+  /// Statistics corruption for this phase (TableStats::CorruptScale): 0.01
+  /// means the optimizer believes 100x fewer tuples qualify.
+  double estimate_error = 1.0;
+  /// Queries each client submits in this phase.
+  uint32_t queries = 4;
+  QueryLane lane = QueryLane::kBatch;
+};
+
+/// How the driver picks each query's access path.
+enum class DriverPolicy {
+  kOptimizer,   ///< Cost-based chooser over the phase's corrupted stats.
+  kSmoothScan,  ///< Always Smooth Scan (Eager + Elastic), stats-oblivious.
+  kFullScan,    ///< Always Full Scan (the robust-but-pessimal baseline).
+  kIndexScan,   ///< Always Index Scan (the fragile baseline).
+};
+
+const char* DriverPolicyToString(DriverPolicy policy);
+
+struct WorkloadOptions {
+  uint32_t clients = 4;
+  /// Intra-query DOP handed to QuerySpec (0 = serial operators).
+  uint32_t dop = 0;
+  DriverPolicy policy = DriverPolicy::kOptimizer;
+  uint64_t seed = 7;
+  std::vector<StreamPhase> phases;
+
+  /// The paper's three-phase drift with a lying optimizer: trickle-selective
+  /// queries the stats get right, then a mid-selectivity phase the stats
+  /// underestimate 100x (index-scan trap), then a high-selectivity phase
+  /// underestimated 1000x.
+  static std::vector<StreamPhase> DriftingPhases(uint32_t queries_per_phase);
+};
+
+/// Workload-level results, aggregated over every completed query.
+struct WorkloadReport {
+  uint64_t queries = 0;
+  uint64_t tuples = 0;
+  double wall_ms = 0.0;  ///< Whole-run wall clock (all clients).
+  double qps = 0.0;      ///< queries / wall seconds.
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double mean_queue_ms = 0.0;
+  /// Summed per-query simulated cost — schedule-independent, so two runs of
+  /// one configuration agree bit-for-bit regardless of concurrency.
+  double total_sim_time = 0.0;
+  /// Queries that ran each PathKind (indexed by its enum value).
+  uint64_t path_counts[5] = {0, 0, 0, 0, 0};
+  /// Every query's metrics, in completion-collection order (per client).
+  std::vector<QueryMetrics> per_query;
+};
+
+class WorkloadDriver {
+ public:
+  /// The driver borrows all three; they must outlive it. The QueryEngine's
+  /// admission cap is the experiment's multi-programming level.
+  WorkloadDriver(Engine* engine, const MicroBenchDb* db, QueryEngine* qe);
+
+  /// Runs the closed loop to completion and aggregates the report.
+  WorkloadReport Run(const WorkloadOptions& options);
+
+ private:
+  QuerySpec SpecFor(const StreamPhase& phase, double selectivity,
+                    const TableStats* phase_stats, const CostModel* model,
+                    const WorkloadOptions& options) const;
+
+  Engine* engine_;
+  const MicroBenchDb* db_;
+  QueryEngine* qe_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_WORKLOAD_WORKLOAD_DRIVER_H_

@@ -257,14 +257,66 @@ TEST_F(SmoothScanTest, CompetitiveAtLowSelectivity) {
 
 // ---------- Policy dynamics ----------
 
-TEST_F(SmoothScanTest, GreedyExpandsEveryProbe) {
+TEST_F(SmoothScanTest, GreedyExpandsEveryProbeUntilCap) {
   const ScanPredicate pred = db_->PredicateForSelectivity(0.001);
   SmoothScanOptions options;
   options.policy = MorphPolicy::kGreedy;
   SmoothScan scan(&db_->index(), pred, options);
   Collect(&scan);
-  EXPECT_EQ(scan.smooth_stats().expansions, scan.smooth_stats().probes);
+  // Greedy doubles from 1 page, so it can grow at most log2(cap) times; every
+  // probe past that point leaves the region at the cap and must not count.
+  const uint64_t growth_steps = static_cast<uint64_t>(
+      std::ceil(std::log2(static_cast<double>(options.max_region_pages))));
+  EXPECT_EQ(scan.smooth_stats().expansions,
+            std::min(scan.smooth_stats().probes, growth_steps));
   EXPECT_EQ(scan.smooth_stats().shrinks, 0u);
+}
+
+TEST_F(SmoothScanTest, ExpansionCounterStopsAtRegionCap) {
+  // High selectivity + a tiny cap: the region saturates after two doublings
+  // (1 -> 2 -> 4) and the many remaining probes must not inflate the counter.
+  const ScanPredicate pred = db_->PredicateForSelectivity(1.0);
+  SmoothScanOptions options;
+  options.policy = MorphPolicy::kGreedy;
+  options.max_region_pages = 4;
+  SmoothScan scan(&db_->index(), pred, options);
+  Collect(&scan);
+  EXPECT_GT(scan.smooth_stats().probes, 2u);
+  EXPECT_EQ(scan.smooth_stats().expansions, 2u);
+  EXPECT_EQ(scan.current_region_pages(), 4u);
+}
+
+TEST(MorphRegionStepTest, NoCountAtCapOrFloor) {
+  uint64_t expansions = 0;
+  uint64_t shrinks = 0;
+  // At the cap every policy's growth step is a no-op: size and counters hold.
+  EXPECT_EQ(MorphRegionStep(MorphPolicy::kGreedy, 16, 16, 0, 0, 16, 16,
+                            &expansions, &shrinks),
+            16u);
+  EXPECT_EQ(MorphRegionStep(MorphPolicy::kSelectivityIncrease, 16, 16, 0, 0,
+                            16, 16, &expansions, &shrinks),
+            16u);
+  EXPECT_EQ(MorphRegionStep(MorphPolicy::kElastic, 16, 16, 0, 0, 16, 16,
+                            &expansions, &shrinks),
+            16u);
+  EXPECT_EQ(expansions, 0u);
+  // An Elastic halving already at one page is equally a no-op.
+  EXPECT_EQ(MorphRegionStep(MorphPolicy::kElastic, 1, 16, /*seen=*/10,
+                            /*with_results=*/10, /*region_seen=*/1,
+                            /*region_results=*/0, &expansions, &shrinks),
+            1u);
+  EXPECT_EQ(shrinks, 0u);
+  // Below cap/floor, real steps still count (8 -> 16 clamps to the cap but
+  // changes the region, so it is an expansion; 4 -> 2 is a shrink).
+  EXPECT_EQ(MorphRegionStep(MorphPolicy::kGreedy, 8, 16, 0, 0, 8, 8,
+                            &expansions, &shrinks),
+            16u);
+  EXPECT_EQ(expansions, 1u);
+  EXPECT_EQ(MorphRegionStep(MorphPolicy::kElastic, 4, 16, /*seen=*/10,
+                            /*with_results=*/10, /*region_seen=*/4,
+                            /*region_results=*/0, &expansions, &shrinks),
+            2u);
+  EXPECT_EQ(shrinks, 1u);
 }
 
 TEST_F(SmoothScanTest, SelectivityIncreaseNeverShrinks) {

@@ -380,6 +380,44 @@ TEST_F(BufferPoolTest, CapacityBoundRespected) {
   EXPECT_LE(pool.size(), 8u);
 }
 
+// ---------- Mirror (multi-query shared-pool residency) ----------
+
+TEST_F(BufferPoolTest, MirrorPinsFollowLocalGuards) {
+  SimDisk shared_disk;
+  BufferPool shared(&storage_, &shared_disk, 32);
+  BufferPool local(&storage_, &disk_, 16, /*num_shards=*/1);
+  local.SetMirror(&shared);
+
+  const double shared_io = shared_disk.stats().io_time;
+  {
+    PageGuard fetched = local.Fetch(file_, 3);
+    PageGuard pinned = local.Pin(file_, 5);
+    // Both pages land pinned in the mirror, charged only to the local disk.
+    EXPECT_TRUE(shared.Contains(file_, 3));
+    EXPECT_TRUE(shared.Contains(file_, 5));
+    EXPECT_EQ(shared.pinned_pages(), 2u);
+    EXPECT_EQ(shared.FlushAll(), 2u);  // Pinned: skip + report.
+    EXPECT_TRUE(shared.Contains(file_, 3));
+  }
+  // Guards gone: mirror pins released symmetrically, residency stays.
+  EXPECT_EQ(shared.pinned_pages(), 0u);
+  EXPECT_TRUE(shared.Contains(file_, 3));
+  // The mirror never does accounting of its own.
+  EXPECT_DOUBLE_EQ(shared_disk.stats().io_time, shared_io);
+  EXPECT_EQ(shared.stats().hits + shared.stats().misses, 0u);
+}
+
+TEST_F(BufferPoolTest, MirrorSeesExtentResidency) {
+  SimDisk shared_disk;
+  BufferPool shared(&storage_, &shared_disk, 32);
+  BufferPool local(&storage_, &disk_, 16, /*num_shards=*/1);
+  local.SetMirror(&shared);
+  local.FetchExtent(file_, 2, 4);
+  for (PageId p = 2; p < 6; ++p) EXPECT_TRUE(shared.Contains(file_, p));
+  EXPECT_EQ(shared.pinned_pages(), 0u);  // Extents take no pins anywhere.
+  EXPECT_EQ(shared_disk.stats().io_requests, 0u);
+}
+
 // ---------- HeapFile ----------
 
 TEST(HeapFileTest, AppendAndReadBack) {
