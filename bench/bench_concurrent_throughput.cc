@@ -69,14 +69,16 @@ void RunCell(Engine* engine, const MicroBenchDb& db, TaskScheduler* scheduler,
                 DriverPolicyToString(policy), dop);
   std::printf(
       "%-18s clients=%u  qps=%7.2f  p50=%8.2fms  p99=%8.2fms  queue=%7.2fms  "
-      "sim=%12.1f  paths[full/idx/sort/switch/smooth]=%llu/%llu/%llu/%llu/%llu\n",
+      "sim=%12.1f  paths[full/idx/sort/switch/smooth/shared]="
+      "%llu/%llu/%llu/%llu/%llu/%llu\n",
       series, clients, report.qps, report.p50_latency_ms,
       report.p99_latency_ms, report.mean_queue_ms, report.total_sim_time,
       static_cast<unsigned long long>(report.path_counts[0]),
       static_cast<unsigned long long>(report.path_counts[1]),
       static_cast<unsigned long long>(report.path_counts[2]),
       static_cast<unsigned long long>(report.path_counts[3]),
-      static_cast<unsigned long long>(report.path_counts[4]));
+      static_cast<unsigned long long>(report.path_counts[4]),
+      static_cast<unsigned long long>(report.path_counts[5]));
   bench::RecordRowExtra(
       series, /*x=*/static_cast<double>(clients), m,
       {{"clients", static_cast<double>(clients)},

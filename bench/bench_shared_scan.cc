@@ -1,0 +1,143 @@
+// Cross-query scan sharing: the same-table hot spot swept over client count
+// with sharing off vs. on. Every client fires one scan-bound query at the
+// one hot table at once (WorkloadOptions::HotSpotPhases). Unshared, N
+// clients pay ~N full passes through the buffer pool; attached to the
+// coordinator's one circular chunk scan they pay ~1 pass plus the attach
+// stagger — the acceptance bar is aggregate pages fetched <= 2x a single
+// solo scan at 8 clients, with every query's result multiset identical to
+// its solo run (pinned by tests/shared_scan_test.cc). A third series runs
+// the shared-SmoothScan mode, whose attached queries feed one common Page ID
+// Cache.
+//
+// Emits BENCH_shared_scan.json: one row per (series, clients) cell with qps,
+// latency percentiles, aggregate pages fetched and the ratio to the solo
+// pass. Aggregate pages = the engine's shared stream (the coordinator's
+// communal chunk fetches) + every query's private stack (solo and
+// smooth-shared queries charge their own).
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "engine/query_engine.h"
+#include "sharing/scan_sharing.h"
+#include "workload/workload_driver.h"
+
+using namespace smoothscan;
+
+namespace {
+
+constexpr uint32_t kClientCounts[] = {1, 2, 4, 8};
+
+struct Cell {
+  const char* series;
+  DriverPolicy policy;
+  bool sharing;
+};
+
+constexpr Cell kCells[] = {
+    {"full unshared", DriverPolicy::kFullScan, false},
+    {"shared", DriverPolicy::kSharedScan, true},
+    {"smooth shared", DriverPolicy::kSmoothScan, true},
+};
+
+uint64_t RunCell(Engine* engine, const MicroBenchDb& db, const Cell& cell,
+                 uint32_t clients, uint64_t solo_pages) {
+  engine->ColdRestart();
+  // A fresh coordinator per cell: each wave forms its own groups, so the
+  // aggregate-pages comparison across cells starts from the same cold state.
+  ScanSharingCoordinator coordinator(engine);
+  QueryEngineOptions qeo;
+  qeo.max_admitted = clients;  // Every client attaches to the same wave.
+  qeo.sharing = cell.sharing ? &coordinator : nullptr;
+  QueryEngine qe(engine, qeo);
+  WorkloadDriver driver(engine, &db, &qe);
+
+  WorkloadOptions wo;
+  wo.clients = clients;
+  wo.policy = cell.policy;
+  wo.phases = WorkloadOptions::HotSpotPhases(/*queries_per_client=*/1);
+  const IoStats shared_before = engine->disk().stats();
+  const WorkloadReport report = driver.Run(wo);
+  const IoStats shared_io = engine->disk().stats() - shared_before;
+
+  bench::RunMetrics m;
+  m.tuples = report.tuples;
+  m.wall_ms = report.wall_ms;
+  m.threads = clients;
+  // Aggregate pages fetched = communal chunk fetches (the engine stream) +
+  // every query's private charges; likewise for the other I/O counters.
+  m.io_time = shared_io.io_time;
+  m.io_requests = shared_io.io_requests;
+  m.random_ios = shared_io.random_ios;
+  m.seq_ios = shared_io.seq_ios;
+  m.pages_read = shared_io.pages_read;
+  for (const QueryMetrics& q : report.per_query) {
+    m.io_time += q.io_time;
+    m.cpu_time += q.cpu_time;
+    m.io_requests += q.io_requests;
+    m.random_ios += q.random_ios;
+    m.seq_ios += q.seq_ios;
+    m.pages_read += q.pages_read;
+  }
+  m.total_time = m.io_time + m.cpu_time;
+
+  // The first cell IS the solo yardstick: its ratio is 1.0 by definition.
+  const uint64_t base = solo_pages == 0 ? m.pages_read : solo_pages;
+  const double ratio = base == 0 ? 0.0
+                                 : static_cast<double>(m.pages_read) /
+                                       static_cast<double>(base);
+  std::printf(
+      "%-16s clients=%u  qps=%7.2f  p50=%8.2fms  p99=%8.2fms  "
+      "agg_pages=%8llu  vs_solo=%5.2fx\n",
+      cell.series, clients, report.qps, report.p50_latency_ms,
+      report.p99_latency_ms, static_cast<unsigned long long>(m.pages_read),
+      ratio);
+  bench::RecordRowExtra(
+      cell.series, /*x=*/static_cast<double>(clients), m,
+      {{"clients", static_cast<double>(clients)},
+       {"qps", report.qps},
+       {"p50_ms", report.p50_latency_ms},
+       {"p95_ms", report.p95_latency_ms},
+       {"p99_ms", report.p99_latency_ms},
+       {"agg_pages_fetched", static_cast<double>(m.pages_read)},
+       {"pages_vs_solo", ratio}});
+  return m.pages_read;
+}
+
+}  // namespace
+
+int main() {
+  bench::OpenJson("shared_scan");
+  EngineOptions options;
+  options.device = DeviceProfile::Hdd();
+  // Holds the hot table: peer residency (shared-SmoothScan's free ride and
+  // lap-to-lap chunk reuse) is real instead of churned away.
+  options.buffer_pool_pages = 4096;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 240000;
+  MicroBenchDb db(&engine, spec);
+
+  std::printf("# shared-scan hot spot — %llu tuples, %zu pages, host "
+              "hardware threads: %u\n",
+              static_cast<unsigned long long>(db.heap().num_tuples()),
+              db.heap().num_pages(), std::thread::hardware_concurrency());
+  std::printf("# every client fires one 30-80%% selectivity query at the one "
+              "hot table at once\n\n");
+
+  // The solo yardstick: one client, one plain full pass.
+  uint64_t solo_pages = 0;
+  for (const Cell& cell : kCells) {
+    for (const uint32_t clients : kClientCounts) {
+      const uint64_t pages =
+          RunCell(&engine, db, cell, clients, solo_pages);
+      if (solo_pages == 0) solo_pages = pages;  // First cell: the baseline.
+    }
+    std::printf("\n");
+  }
+  std::printf("acceptance: shared @ 8 clients must stay <= 2x the solo "
+              "pass's pages (unshared is ~8x).\n");
+  bench::CloseJson();
+  return 0;
+}

@@ -194,14 +194,39 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
   const uint32_t count = std::min<uint32_t>(want, num_pages - target);
   // Fetch only the pages of the region that were not processed before
   // ("pages processed in Mode 1 are skipped in Mode 2"), coalescing
-  // contiguous unprocessed pages into single extent requests.
+  // contiguous unprocessed pages into single extent requests. In the
+  // shared-SmoothScan mode a page a *peer* query probed that is still
+  // resident in the shared pool is excluded from the charged extents too:
+  // the peer paid its fetch, this scan only probes the resident copy.
+  SharedSmoothGroup* shared = options_.shared_group.get();
+  // Guards of peer-paid pages, indexed by region offset. Taking the guard IS
+  // the classification: PinIfResident checks and pins under one shard latch,
+  // so a page decided "free" stays pinned (and resident) until harvested — a
+  // concurrent eviction can never turn the free ride into an uncharged read.
+  std::vector<PageGuard> free_guards(shared != nullptr ? count : 0);
+  auto take_free = [&](uint32_t i) -> bool {
+    if (shared == nullptr) return false;
+    if (free_guards[i]) return true;
+    const PageId pid = target + i;
+    if (!shared->cache.IsMarked(pid)) return false;
+    free_guards[i] = shared->pool->PinIfResident(shared->file, pid);
+    return static_cast<bool>(free_guards[i]);
+  };
   for (uint32_t i = 0; i < count;) {
     if (page_cache_->IsMarked(target + i)) {
       ++i;
       continue;
     }
+    if (take_free(i)) {
+      ++sstats_.shared_free_pages;
+      ++i;
+      continue;
+    }
     uint32_t run = 1;
-    while (i + run < count && !page_cache_->IsMarked(target + i + run)) ++run;
+    while (i + run < count && !page_cache_->IsMarked(target + i + run) &&
+           !take_free(i + run)) {
+      ++run;
+    }
     ctx.pool->FetchExtent(heap->file_id(), target + i, run);
     i += run;
   }
@@ -217,12 +242,20 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
     const PageId pid = target + i;
     if (page_cache_->IsMarked(pid)) continue;  // Harvested earlier.
     page_cache_->Mark(pid);
+    // Publish the probe to peers: the page is fully analyzed and (having
+    // just been fetched or pinned) resident for them to reuse.
+    if (shared != nullptr) shared->cache.Mark(pid);
     ++cache_ops;
     ++stats_.heap_pages_probed;
     ++region_pages_seen;
 
-    const PageGuard guard = ctx.pool->Pin(heap->file_id(), pid);
-    const Page& page = *guard;
+    // A peer-paid page is read through its already-held shared-pool guard;
+    // everything else was charged above and pins the scan's own pool.
+    const uint32_t off = static_cast<uint32_t>(pid - target);
+    const bool free_ride = shared != nullptr && free_guards[off];
+    const PageGuard guard =
+        free_ride ? PageGuard() : ctx.pool->Pin(heap->file_id(), pid);
+    const Page& page = free_ride ? *free_guards[off] : *guard;
     bool page_has_result = false;
     for (uint16_t s = 0; s < page.num_slots(); ++s) {
       uint32_t size = 0;

@@ -58,6 +58,25 @@ enum class MorphTrigger {
 const char* MorphPolicyToString(MorphPolicy policy);
 const char* MorphTriggerToString(MorphTrigger trigger);
 
+/// Cross-query Smooth Scan sharing (the shared-SmoothScan mode of the scan
+/// sharing subsystem, handed out by ScanSharingCoordinator::SmoothSharingFor):
+/// every attached scan over the table feeds one common concurrent Page ID
+/// Cache recording pages *some* query has already fully probed. A scan still
+/// probes every page its own lap needs — results stay solo-identical — but a
+/// page that a peer marked AND that is still resident in the shared pool is
+/// taken without an I/O charge: the peer already paid the fetch, and the
+/// residency check keeps the free ride honest under eviction. The aggregate
+/// I/O of N same-table Smooth Scans thus drops toward one pass while each
+/// query's private Page ID Cache keeps its result dedup exact.
+struct SharedSmoothGroup {
+  SharedSmoothGroup(size_t num_pages, BufferPool* shared_pool, FileId file_id)
+      : cache(num_pages), pool(shared_pool), file(file_id) {}
+
+  ConcurrentPageIdCache cache;  ///< Pages fully probed by any attached scan.
+  BufferPool* pool;             ///< The shared residency pool (the engine's).
+  FileId file;
+};
+
 /// One region-growth policy step (Section III-B), shared by the serial scan
 /// and the parallel morsel kernel. Compares the finished region's local
 /// selectivity (Eq. 1) against the global selectivity of the pages seen
@@ -98,6 +117,10 @@ struct SmoothScanOptions {
   /// reached with the traditional index". Requires a bulk-built (globally
   /// (key, TID)-ordered) index; only meaningful for non-eager triggers.
   bool positional_dedup = false;
+  /// Shared-SmoothScan mode: attach this scan to the table's common Page ID
+  /// Cache (see SharedSmoothGroup). Null = solo behaviour, bit-identical
+  /// accounting to a cold run.
+  std::shared_ptr<SharedSmoothGroup> shared_group;
 };
 
 /// Operator-specific counters, exposed for the paper's Figs. 6–9 analyses.
@@ -119,6 +142,9 @@ struct SmoothScanStats {
   uint64_t rc_hits = 0;
   uint64_t rc_inserts = 0;
   uint64_t rc_max_size = 0;
+  /// Shared-SmoothScan mode: pages taken for free because a peer query had
+  /// already probed them and they were still resident in the shared pool.
+  uint64_t shared_free_pages = 0;
   bool triggered = false;         ///< Non-eager trigger fired.
   uint64_t trigger_cardinality = 0;
 

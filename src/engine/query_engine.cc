@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sharing/shared_scan_path.h"
+
 namespace smoothscan {
 
 namespace {
+
+/// Aging bound of the share-aware batch pop: after this many bypasses the
+/// front query is admitted next no matter what is sharable behind it.
+constexpr uint32_t kMaxShareBypasses = 16;
 
 double MsBetween(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
@@ -48,6 +54,7 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
                    (spec.stats != nullptr && spec.cost_model != nullptr));
   Pending p;
   p.spec = std::move(spec);
+  p.share_eligible = ShareEligible(p.spec);  // Once, outside the lock.
   p.submitted = std::chrono::steady_clock::now();
   QueryId id;
   {
@@ -116,8 +123,27 @@ void QueryEngine::ExecutorLoop() {
           !lanes_[static_cast<int>(QueryLane::kSla)].empty()
               ? lanes_[static_cast<int>(QueryLane::kSla)]
               : lanes_[static_cast<int>(QueryLane::kBatch)];
-      p = std::move(lane.front());
-      lane.pop_front();
+      auto it = lane.begin();
+      if (options_.sharing != nullptr &&
+          &lane == &lanes_[static_cast<int>(QueryLane::kBatch)] &&
+          it->bypassed < kMaxShareBypasses) {
+        // Share-aware pop: a queued query that can attach to a shared scan
+        // already in flight over its table jumps the batch FIFO — grouping
+        // same-table arrivals onto one lap instead of serializing passes.
+        // The front query's bypass budget bounds the reordering: once spent,
+        // plain FIFO resumes and it is admitted next.
+        for (auto cand = lane.begin(); cand != lane.end(); ++cand) {
+          if (cand->share_eligible &&
+              running_shared_.count(cand->spec.index->heap()->file_id()) >
+                  0) {
+            it = cand;
+            break;
+          }
+        }
+        if (it != lane.begin()) ++lane.front().bypassed;
+      }
+      p = std::move(*it);
+      lane.erase(it);
       ++admitted_now_;
       peak_admitted_ = std::max(peak_admitted_, admitted_now_);
       admit_time = std::chrono::steady_clock::now();
@@ -142,6 +168,24 @@ void QueryEngine::ExecutorLoop() {
   }
 }
 
+bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
+  if (options_.sharing == nullptr || !spec.allow_sharing || spec.need_order) {
+    return false;
+  }
+  if (!spec.use_chooser) return spec.kind == PathKind::kSharedScan;
+  // Chooser queries: ask the chooser itself (same inputs as Execute will
+  // use, so the verdict matches) — a selective query headed for an index
+  // path must not jump the batch FIFO for a lap it will never join.
+  ChooserOptions copts;
+  copts.need_order = spec.need_order;
+  copts.dop = std::max<uint32_t>(1, spec.dop);
+  copts.sharing_available = true;
+  return AccessPathChooser::Choose(*spec.stats, *spec.cost_model,
+                                   spec.predicate.lo, spec.predicate.hi,
+                                   copts)
+             .kind == PathKind::kSharedScan;
+}
+
 QueryResult QueryEngine::Execute(QuerySpec spec) {
   QueryResult res;
   QueryMetrics& m = res.metrics;
@@ -150,17 +194,22 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   // Plan: reuse the cost-based chooser per stream query. With corrupted stats
   // the choice (and the estimate handed to the path) is faithfully wrong —
   // the paper's mis-estimation scenario, replayed at stream scale.
+  const bool sharing_on = options_.sharing != nullptr && spec.allow_sharing;
   PathKind kind = spec.kind;
   uint64_t estimate = spec.estimate;
   if (spec.use_chooser) {
     ChooserOptions copts;
     copts.need_order = spec.need_order;
     copts.dop = std::max<uint32_t>(1, spec.dop);
+    copts.sharing_available = sharing_on;
     const PlanChoice choice =
         AccessPathChooser::Choose(*spec.stats, *spec.cost_model,
                                   spec.predicate.lo, spec.predicate.hi, copts);
     kind = choice.kind;
     estimate = choice.estimated_cardinality;
+  }
+  if (kind == PathKind::kSharedScan && (!sharing_on || spec.need_order)) {
+    kind = PathKind::kFullScan;  // The exact solo-equivalent plan.
   }
   m.kind = kind;
 
@@ -168,8 +217,27 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   QueryContext qctx(engine_,
                     options_.mirror_pages ? &engine_->pool() : nullptr);
 
+  const FileId table = spec.index->heap()->file_id();
+  const bool shared_run = kind == PathKind::kSharedScan;
   std::unique_ptr<AccessPath> path;
-  if (spec.dop >= 1) {
+  if (shared_run) {
+    path = std::make_unique<SharedScanPath>(
+        options_.sharing, spec.index->heap(), spec.predicate);
+    path->SetExecContext(&qctx.ctx());
+    // Visible to the share-aware batch pop while this scan is in flight.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++running_shared_[table];
+  } else if (kind == PathKind::kSmoothScan && sharing_on && spec.dop == 0) {
+    // Shared-SmoothScan mode: this query feeds (and profits from) the
+    // table's common Page ID Cache. Results are solo-identical; charged I/O
+    // is not — peer-probed resident pages come free, which is the point.
+    SmoothScanOptions so;
+    so.preserve_order = spec.need_order;
+    so.shared_group = options_.sharing->SmoothSharingFor(spec.index->heap());
+    path = std::make_unique<SmoothScan>(spec.index, spec.predicate, so);
+    path->SetExecContext(&qctx.ctx());
+  }
+  if (path == nullptr && spec.dop >= 1) {
     ParallelScanOptions po;
     po.dop = spec.dop;
     po.scheduler = options_.scheduler;
@@ -187,17 +255,24 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   }
 
   res.status = path->Open();
-  if (!res.status.ok()) return res;
-  TupleBatch batch;
-  while (path->NextBatch(&batch)) {
-    m.tuples += batch.size();
-    if (spec.collect_keys) {
-      for (size_t i = 0; i < batch.size(); ++i) {
-        res.keys.push_back(batch.row(i)[0].AsInt64());
+  if (res.status.ok()) {
+    TupleBatch batch;
+    while (path->NextBatch(&batch)) {
+      m.tuples += batch.size();
+      if (spec.collect_keys) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          res.keys.push_back(batch.row(i)[0].AsInt64());
+        }
       }
     }
+    path->Close();
   }
-  path->Close();
+  if (shared_run) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = running_shared_.find(table);
+    if (--it->second == 0) running_shared_.erase(it);
+  }
+  if (!res.status.ok()) return res;
 
   const IoStats io = qctx.disk().stats();
   m.io_time = io.io_time;

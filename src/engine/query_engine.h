@@ -43,8 +43,17 @@
 
 namespace smoothscan {
 
+class ScanSharingCoordinator;
+
 /// Submission lanes. kSla queries are admitted before any queued kBatch
-/// query; within a lane admission is FIFO.
+/// query; within a lane admission is FIFO. With a ScanSharingCoordinator
+/// configured, the batch lane is additionally *share-aware*: when a shared
+/// scan is in flight over some table, a queued share-eligible query on the
+/// same table is admitted ahead of older batch queries, so same-table
+/// arrivals group onto the one cooperative scan instead of queueing behind
+/// unrelated work and missing the lap. The jump is aging-bounded: a query
+/// bypassed too many times is admitted next regardless, so a steady
+/// hot-spot stream cannot starve unrelated batch work.
 enum class QueryLane { kBatch = 0, kSla = 1 };
 
 const char* QueryLaneToString(QueryLane lane);
@@ -73,6 +82,10 @@ struct QuerySpec {
   QueryLane lane = QueryLane::kBatch;
   /// Collect column-0 values into QueryResult::keys (differential tests).
   bool collect_keys = false;
+  /// Opt out of the engine's scan sharing for this query (kSharedScan plans
+  /// fall back to FullScan, Smooth Scan runs solo, and the share-aware
+  /// admission never reorders it). No effect without a coordinator.
+  bool allow_sharing = true;
 };
 
 /// Per-query accounting, the workload-level analogue of bench RunMetrics.
@@ -109,6 +122,12 @@ struct QueryEngineOptions {
   /// (pinned for the access's lifetime) — real residency contention without
   /// perturbing per-query accounting. See BufferPool::SetMirror.
   bool mirror_pages = true;
+  /// Cross-query scan sharing (src/sharing/): kSharedScan plans attach to
+  /// the coordinator's cooperative circular scans, the chooser may upgrade
+  /// full scans to kSharedScan, Smooth Scan queries feed the per-table
+  /// shared Page ID Cache, and batch admission becomes share-aware. Null
+  /// disables all of it; the coordinator must outlive the engine.
+  ScanSharingCoordinator* sharing = nullptr;
 };
 
 class QueryEngine {
@@ -129,7 +148,9 @@ class QueryEngine {
   /// waited on exactly once).
   QueryResult Wait(QueryId id);
 
-  /// Blocks until every query submitted so far has completed.
+  /// Blocks until every query submitted so far has completed. Completion
+  /// records are reclaimed by Wait() alone — a fire-and-forget caller that
+  /// only ever Drain()s should still Wait() each id, or records accumulate.
   void Drain();
 
   // Observability (values are instantaneous snapshots).
@@ -144,6 +165,14 @@ class QueryEngine {
     QueryId id = 0;
     QuerySpec spec;
     std::chrono::steady_clock::time_point submitted;
+    /// Times a younger share-eligible query was admitted over this one (the
+    /// share-aware pop's aging bound: see kMaxShareBypasses).
+    uint32_t bypassed = 0;
+    /// This query will resolve to the cooperative shared scan (explicit
+    /// kSharedScan, or the chooser's actual verdict — computed once at
+    /// Submit), so admitting it while a shared scan runs on its table joins
+    /// the live lap.
+    bool share_eligible = false;
   };
   struct Record {
     QueryResult result;
@@ -152,6 +181,10 @@ class QueryEngine {
 
   void ExecutorLoop();
   QueryResult Execute(QuerySpec spec);
+  /// Whether the query will resolve to a shared scan (Pending::share_eligible
+  /// — runs the chooser for use_chooser specs, so a selective query that
+  /// will pick an index path never jumps the FIFO for nothing).
+  bool ShareEligible(const QuerySpec& spec) const;
 
   Engine* engine_;
   QueryEngineOptions options_;
@@ -162,6 +195,9 @@ class QueryEngine {
   std::deque<Pending> lanes_[2];       ///< Indexed by QueryLane.
   std::unordered_map<QueryId, Record> records_;
   QueryId next_id_ = 1;
+  /// Tables with a shared scan executing right now (value = running count);
+  /// the share-aware batch pop admits matching queued queries first.
+  std::unordered_map<FileId, uint32_t> running_shared_;
   bool shutdown_ = false;
   uint32_t admitted_now_ = 0;
   uint32_t peak_admitted_ = 0;

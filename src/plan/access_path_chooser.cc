@@ -17,6 +17,8 @@ const char* PathKindToString(PathKind kind) {
       return "SwitchScan";
     case PathKind::kSmoothScan:
       return "SmoothScan";
+    case PathKind::kSharedScan:
+      return "SharedScan";
   }
   return "?";
 }
@@ -107,6 +109,16 @@ PlanChoice AccessPathChooser::Choose(const TableStats& stats,
       choice.estimated_wall_cost = c.wall;
     }
   }
+  // Scan-bound regime with a coordinator on hand: run the winning full pass
+  // cooperatively. The estimates stay the solo full scan's — sharing can only
+  // cheapen the lap, never widen it. Only at dop == 1: the shared consumer
+  // drains its lap serially, so upgrading a plan that was ranked on a
+  // parallel full scan's wall estimate would discard the speedup the ranking
+  // was based on.
+  if (options.sharing_available && !need_order && dop == 1 &&
+      choice.kind == PathKind::kFullScan) {
+    choice.kind = PathKind::kSharedScan;
+  }
   choice.dop = dop;
   return choice;
 }
@@ -134,6 +146,11 @@ std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
       options.preserve_order = need_order;
       return std::make_unique<SmoothScan>(index, predicate, options);
     }
+    case PathKind::kSharedScan:
+      // A shared scan needs the engine's ScanSharingCoordinator (see
+      // sharing/shared_scan_path.h); without one, a plain full scan is the
+      // exact solo-equivalent plan.
+      return std::make_unique<FullScan>(index->heap(), predicate);
   }
   return nullptr;
 }
@@ -161,6 +178,10 @@ std::unique_ptr<ParallelScan> MakeParallelPath(
       // gate on global cardinality and keep the serial operator.
       return MakeParallelSmoothScan(index, predicate, SmoothScanOptions(),
                                     parallel);
+    case PathKind::kSharedScan:
+      // Sharing is inter-query parallelism already; the consumer itself
+      // stays a serial drain of the cooperative scan.
+      return nullptr;
   }
   return nullptr;
 }

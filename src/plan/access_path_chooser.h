@@ -26,7 +26,16 @@ enum class PathKind {
   kSortScan,
   kSwitchScan,
   kSmoothScan,
+  /// Cooperative circular scan shared with concurrent same-table queries
+  /// (src/sharing/). Materialized by the QueryEngine via its
+  /// ScanSharingCoordinator — MakePath cannot build it alone.
+  kSharedScan,
 };
+
+/// Number of PathKind values (sizing per-path counters). Derived from the
+/// last enumerator so adding a kind cannot leave counters undersized.
+inline constexpr int kNumPathKinds =
+    static_cast<int>(PathKind::kSharedScan) + 1;
 
 const char* PathKindToString(PathKind kind);
 
@@ -39,6 +48,13 @@ struct ChooserOptions {
   /// *wall-clock* estimate, so with dop > 1 the chooser ranks paths by
   /// estimated_wall_cost instead.
   uint32_t dop = 1;
+  /// A ScanSharingCoordinator is available to the executing engine. When the
+  /// ranking favors the full scan anyway (the scan-bound regime), no
+  /// interesting order is required and dop == 1 (the shared consumer drains
+  /// serially), the chooser upgrades the choice to kSharedScan: a shared lap
+  /// costs at most a solo pass and attaching to an in-flight scan costs a
+  /// fraction of one.
+  bool sharing_available = false;
 };
 
 /// The optimizer's verdict for one selection.

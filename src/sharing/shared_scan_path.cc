@@ -1,0 +1,88 @@
+#include "sharing/shared_scan_path.h"
+
+namespace smoothscan {
+
+SharedScanPath::SharedScanPath(ScanSharingCoordinator* coordinator,
+                               const HeapFile* heap, ScanPredicate predicate)
+    : coordinator_(coordinator),
+      heap_(heap),
+      predicate_(std::move(predicate)) {
+  SMOOTHSCAN_CHECK(coordinator_ != nullptr);
+  SMOOTHSCAN_CHECK(coordinator_->engine() == heap_->engine());
+}
+
+Status SharedScanPath::OpenImpl() {
+  consumer_.Detach();  // Re-Open mid-lap starts a fresh lap.
+  chunk_ = nullptr;
+  chunk_page_ = 0;
+  cur_slot_ = 0;
+  done_ = false;
+  chunks_consumed_ = 0;
+  consumer_ = coordinator_->Attach(heap_);
+  start_seq_ = consumer_.start_seq();
+  lap_chunks_ = consumer_.lap_chunks();
+  return Status::OK();
+}
+
+void SharedScanPath::CloseImpl() {
+  chunk_ = nullptr;
+  consumer_.Detach();  // Mid-lap close = cancelled consumer.
+}
+
+bool SharedScanPath::NextBatchImpl(TupleBatch* out) {
+  const ExecContext& ctx = this->ctx();
+  const Schema& schema = heap_->schema();
+  const int key_col = predicate_.column;
+  const int64_t lo = predicate_.lo;
+  const int64_t hi = predicate_.hi;
+  const bool has_residual = static_cast<bool>(predicate_.residual);
+  // Same dense-fill kernel as FullScan, reading the group's pinned pages.
+  Tuple* rows = out->fill_rows();
+  size_t filled = out->fill_begin();
+  const size_t cap = out->capacity();
+  uint64_t inspected = 0;
+  while (filled < cap && !done_) {
+    if (chunk_ == nullptr) {
+      // Releases the previous chunk and blocks for the next one.
+      chunk_ = consumer_.NextChunk();
+      chunk_page_ = 0;
+      cur_slot_ = 0;
+      if (chunk_ == nullptr) {
+        done_ = true;  // Lap complete: the consumer detached itself.
+        break;
+      }
+      ++chunks_consumed_;
+    }
+    const Page& page = *chunk_->guards[chunk_page_];
+    if (cur_slot_ == 0) ++stats_.heap_pages_probed;
+    const uint16_t num_slots = page.num_slots();
+    uint16_t slot = cur_slot_;
+    while (slot < num_slots && filled < cap) {
+      uint32_t size = 0;
+      const uint8_t* data = page.GetTuple(slot, &size);
+      ++slot;
+      ++inspected;
+      const int64_t key = schema.ReadInt64Column(data, size, key_col);
+      if (key < lo || key >= hi) continue;
+      Tuple* decoded = &rows[filled];
+      schema.DeserializeInto(data, size, decoded);
+      if (has_residual && !predicate_.residual(*decoded)) continue;
+      ++filled;
+    }
+    cur_slot_ = slot;
+    if (cur_slot_ >= num_slots) {
+      ++chunk_page_;
+      cur_slot_ = 0;
+      if (chunk_page_ >= chunk_->num_pages) chunk_ = nullptr;
+    }
+  }
+  const uint64_t produced = filled - out->fill_begin();
+  out->set_filled(filled);
+  stats_.tuples_inspected += inspected;
+  stats_.tuples_produced += produced;
+  ctx.cpu->ChargeInspect(inspected);
+  ctx.cpu->ChargeProduce(produced);
+  return !out->empty();
+}
+
+}  // namespace smoothscan

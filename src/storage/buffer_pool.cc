@@ -113,6 +113,20 @@ PageGuard BufferPool::Fetch(FileId file, PageId page) {
   return PageGuard(this, key, &storage_->GetPage(file, page));
 }
 
+PageGuard BufferPool::PinIfResident(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return PageGuard();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    ++it->second.pins;
+  }
+  if (mirror_ != nullptr) mirror_->PinKey(key);
+  return PageGuard(this, key, &storage_->GetPage(file, page));
+}
+
 PageGuard BufferPool::Pin(FileId file, PageId page) {
   const uint64_t key = Key(file, page);
   Shard& shard = ShardFor(key);
@@ -132,13 +146,7 @@ PageGuard BufferPool::Pin(FileId file, PageId page) {
 }
 
 void BufferPool::Unpin(uint64_t key) {
-  Shard& shard = ShardFor(key);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    SMOOTHSCAN_CHECK(it != shard.map.end() && it->second.pins > 0);
-    --it->second.pins;
-  }
+  UnpinKey(key);
   // One mirror pin was taken per local pin, so the release is symmetric.
   if (mirror_ != nullptr) mirror_->UnpinKey(key);
 }

@@ -100,6 +100,13 @@ class BufferPool {
   /// execution), or the access is free by design. Inserts the page if absent.
   PageGuard Pin(FileId file, PageId page);
 
+  /// Pins `page` only if it is resident right now (no I/O charge, no
+  /// hit/miss accounting); an empty guard means absent. Check and pin happen
+  /// under one shard latch, so the caller's "ride a peer-paid resident page
+  /// for free" decision cannot be invalidated by a concurrent eviction (the
+  /// shared-SmoothScan mode's honesty guarantee).
+  PageGuard PinIfResident(FileId file, PageId page);
+
   /// Prefetches the extent [first, first + num_pages) with a single I/O
   /// request (Smooth Scan Mode 2 flattening / scan read-ahead). Pages already
   /// resident at the head or tail of the extent shrink the transfer; the

@@ -19,6 +19,8 @@ const char* DriverPolicyToString(DriverPolicy policy) {
       return "full";
     case DriverPolicy::kIndexScan:
       return "index";
+    case DriverPolicy::kSharedScan:
+      return "shared";
   }
   return "?";
 }
@@ -45,6 +47,16 @@ std::vector<StreamPhase> WorkloadOptions::DriftingPhases(
   report.estimate_error = 0.001;
   report.queries = queries_per_phase;
   return {trickle, drifted, report};
+}
+
+std::vector<StreamPhase> WorkloadOptions::HotSpotPhases(
+    uint32_t queries_per_client) {
+  StreamPhase hot;
+  hot.selectivity_lo = 0.3;
+  hot.selectivity_hi = 0.8;
+  hot.estimate_error = 1.0;  // Honest stats: the full pass is genuinely best.
+  hot.queries = queries_per_client;
+  return {hot};
 }
 
 WorkloadDriver::WorkloadDriver(Engine* engine, const MicroBenchDb* db,
@@ -74,6 +86,9 @@ QuerySpec WorkloadDriver::SpecFor(const StreamPhase& phase, double selectivity,
       break;
     case DriverPolicy::kIndexScan:
       spec.kind = PathKind::kIndexScan;
+      break;
+    case DriverPolicy::kSharedScan:
+      spec.kind = PathKind::kSharedScan;
       break;
   }
   return spec;

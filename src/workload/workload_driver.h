@@ -44,6 +44,8 @@ enum class DriverPolicy {
   kSmoothScan,  ///< Always Smooth Scan (Eager + Elastic), stats-oblivious.
   kFullScan,    ///< Always Full Scan (the robust-but-pessimal baseline).
   kIndexScan,   ///< Always Index Scan (the fragile baseline).
+  kSharedScan,  ///< Always the cooperative shared scan (the engine needs a
+                ///< ScanSharingCoordinator; falls back to Full Scan without).
 };
 
 const char* DriverPolicyToString(DriverPolicy policy);
@@ -61,6 +63,12 @@ struct WorkloadOptions {
   /// underestimate 100x (index-scan trap), then a high-selectivity phase
   /// underestimated 1000x.
   static std::vector<StreamPhase> DriftingPhases(uint32_t queries_per_phase);
+
+  /// A same-table hot spot: every client hammers the one table with
+  /// scan-bound (30–80% selectivity) queries at once — the workload where N
+  /// independent passes waste N-1 of them and a cooperative shared scan
+  /// collapses them toward one (bench_shared_scan sweeps it).
+  static std::vector<StreamPhase> HotSpotPhases(uint32_t queries_per_client);
 };
 
 /// Workload-level results, aggregated over every completed query.
@@ -76,10 +84,15 @@ struct WorkloadReport {
   double max_latency_ms = 0.0;
   double mean_queue_ms = 0.0;
   /// Summed per-query simulated cost — schedule-independent, so two runs of
-  /// one configuration agree bit-for-bit regardless of concurrency.
+  /// one configuration agree bit-for-bit regardless of concurrency. Two
+  /// exceptions when a ScanSharingCoordinator is configured: shared-scan
+  /// queries charge ~no I/O (the pass is paid on the engine's communal
+  /// stream), and shared-SmoothScan savings depend on which pages peers had
+  /// probed first — by design, sharing trades per-query cost isolation for
+  /// aggregate I/O.
   double total_sim_time = 0.0;
   /// Queries that ran each PathKind (indexed by its enum value).
-  uint64_t path_counts[5] = {0, 0, 0, 0, 0};
+  uint64_t path_counts[kNumPathKinds] = {0, 0, 0, 0, 0, 0};
   /// Every query's metrics, in completion-collection order (per client).
   std::vector<QueryMetrics> per_query;
 };
