@@ -33,12 +33,17 @@ struct Cell {
   const char* series;
   DriverPolicy policy;
   bool sharing;
+  /// Shared-SmoothScan savings depend on which pages peers probed first —
+  /// wall-clock racing, by design — so the row's sim_time and fetch ratio
+  /// are advisory: the JSON marks them timing_dependent and the CI perf
+  /// gate checks presence only.
+  bool timing_dependent;
 };
 
 constexpr Cell kCells[] = {
-    {"full unshared", DriverPolicy::kFullScan, false},
-    {"shared", DriverPolicy::kSharedScan, true},
-    {"smooth shared", DriverPolicy::kSmoothScan, true},
+    {"full unshared", DriverPolicy::kFullScan, false, false},
+    {"shared", DriverPolicy::kSharedScan, true, false},
+    {"smooth shared", DriverPolicy::kSmoothScan, true, true},
 };
 
 uint64_t RunCell(Engine* engine, const MicroBenchDb& db, const Cell& cell,
@@ -101,7 +106,8 @@ uint64_t RunCell(Engine* engine, const MicroBenchDb& db, const Cell& cell,
        {"p95_ms", report.p95_latency_ms},
        {"p99_ms", report.p99_latency_ms},
        {"agg_pages_fetched", static_cast<double>(m.pages_read)},
-       {"pages_vs_solo", ratio}});
+       {"pages_vs_solo", ratio},
+       {"timing_dependent", cell.timing_dependent ? 1.0 : 0.0}});
   return m.pages_read;
 }
 

@@ -1,0 +1,181 @@
+// Mixed read/write workload over mutable tables: 8 closed-loop clients where
+// client 0 interleaves INSERT/UPDATE/DELETE batches (write queries through
+// the admission-controlled engine) with everyone's reads, across three
+// phases that drift the *data* under the chooser's frozen statistics.
+//
+// The acceptance property this bench proves and enforces: with table-level
+// intent latches and page-level copy-on-write, every read query sees the
+// phase-boundary snapshot, so its *simulated cost is bit-identical* between
+// the concurrent mixed run (admission cap 8) and a fully serialized run of
+// the same seed (admission cap 1). The bench replays both configurations,
+// aligns the per-client read streams entry for entry, and exits nonzero on
+// the first divergence — making CI fail loudly if writer/scanner isolation
+// ever regresses.
+//
+// Emits BENCH_write_mix.json: one row per (policy, cap) with the summed
+// simulated breakdown, write-op counts, the write-back page count charged at
+// the final flush, and reads_bit_identical as a 0/1 extra.
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/query_engine.h"
+#include "workload/workload_driver.h"
+#include "write/table_version.h"
+#include "write/table_writer.h"
+
+using namespace smoothscan;
+
+namespace {
+
+constexpr uint32_t kClients = 8;
+constexpr uint64_t kSeed = 11;
+constexpr DriverPolicy kPolicies[] = {DriverPolicy::kSmoothScan,
+                                      DriverPolicy::kOptimizer,
+                                      DriverPolicy::kFullScan};
+
+struct ConfigResult {
+  WorkloadReport report;
+  std::vector<double> read_costs;  ///< Per read query, deterministic order.
+  uint64_t write_back_pages = 0;   ///< Dirty pages charged at final flush.
+  double write_back_time = 0.0;
+};
+
+ConfigResult RunConfig(DriverPolicy policy, uint32_t max_admitted) {
+  // Fresh engine and data per configuration: writes mutate the table, so
+  // the two runs being compared must each start from the generator's state.
+  EngineOptions eo;
+  eo.buffer_pool_pages = 512;
+  Engine engine(eo);
+  MicroBenchSpec spec;
+  spec.num_tuples = 80000;
+  MicroBenchDb db(&engine, spec);
+
+  TableVersionRegistry registry(&engine);
+  TableWriter writer(db.mutable_heap(), {db.mutable_index()}, &registry);
+
+  QueryEngineOptions qeo;
+  qeo.max_admitted = max_admitted;
+  qeo.versions = &registry;
+  QueryEngine qe(&engine, qeo);
+  WorkloadDriver driver(&engine, &db, &qe);
+
+  WorkloadOptions wo;
+  wo.clients = kClients;
+  wo.policy = policy;
+  wo.seed = kSeed;
+  wo.phases = WorkloadOptions::MixedWritePhases(
+      /*queries_per_phase=*/4, /*write_queries_per_phase=*/6);
+  wo.writer = &writer;
+  wo.versions = &registry;
+  wo.phase_barrier = true;
+
+  ConfigResult out;
+  out.report = driver.Run(wo);
+  for (const QueryMetrics& m : out.report.per_query) {
+    if (!m.write) out.read_costs.push_back(m.sim_time);
+  }
+  // Final write-back: flush every dirty page the published eras produced and
+  // charge it on the engine stream (the checkpointer's bill).
+  const IoStats before = engine.disk().stats();
+  engine.pool().FlushAll();
+  const IoStats flush = engine.disk().stats() - before;
+  out.write_back_pages = flush.pages_written;
+  out.write_back_time = flush.io_time;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::OpenJson("write_mix");
+  std::printf(
+      "# mixed read/write workload — %u clients, client 0 writes; 3 drift "
+      "phases x (4 reads + 6 write batches x 32 ops); host threads: %u\n",
+      kClients, std::thread::hardware_concurrency());
+  std::printf(
+      "# property under test: per-read simulated cost bit-identical between "
+      "admission cap %u (mixed) and cap 1 (serialized), same snapshots\n\n",
+      kClients);
+
+  bool all_identical = true;
+  for (const DriverPolicy policy : kPolicies) {
+    const ConfigResult mixed = RunConfig(policy, kClients);
+    const ConfigResult solo = RunConfig(policy, /*max_admitted=*/1);
+
+    bool identical = mixed.read_costs.size() == solo.read_costs.size();
+    size_t first_diff = 0;
+    if (identical) {
+      for (size_t i = 0; i < mixed.read_costs.size(); ++i) {
+        if (mixed.read_costs[i] != solo.read_costs[i]) {  // Bit-identical.
+          identical = false;
+          first_diff = i;
+          break;
+        }
+      }
+    }
+    all_identical = all_identical && identical;
+
+    for (const ConfigResult* r : {&mixed, &solo}) {
+      const bool is_mixed = r == &mixed;
+      bench::RunMetrics m;
+      m.tuples = r->report.tuples;
+      m.wall_ms = r->report.wall_ms;
+      m.threads = is_mixed ? kClients : 1;
+      for (const QueryMetrics& q : r->report.per_query) {
+        m.io_time += q.io_time;
+        m.cpu_time += q.cpu_time;
+        m.io_requests += q.io_requests;
+        m.random_ios += q.random_ios;
+        m.seq_ios += q.seq_ios;
+        m.pages_read += q.pages_read;
+      }
+      m.total_time = m.io_time + m.cpu_time;
+      char series[64];
+      std::snprintf(series, sizeof(series), "%s cap=%u",
+                    DriverPolicyToString(policy), is_mixed ? kClients : 1u);
+      std::printf(
+          "%-16s reads=%3llu writes=%3llu ops=%4llu qps=%7.2f p95=%8.2fms  "
+          "sim=%12.1f  wb_pages=%llu  reads_bit_identical=%d\n",
+          series, static_cast<unsigned long long>(r->report.queries),
+          static_cast<unsigned long long>(r->report.write_queries),
+          static_cast<unsigned long long>(r->report.write_ops), r->report.qps,
+          r->report.p95_latency_ms, r->report.total_sim_time,
+          static_cast<unsigned long long>(r->write_back_pages),
+          identical ? 1 : 0);
+      bench::RecordRowExtra(
+          series, /*x=*/static_cast<double>(is_mixed ? kClients : 1), m,
+          {{"clients", static_cast<double>(kClients)},
+           {"qps", r->report.qps},
+           {"p50_ms", r->report.p50_latency_ms},
+           {"p95_ms", r->report.p95_latency_ms},
+           {"write_queries", static_cast<double>(r->report.write_queries)},
+           {"write_ops", static_cast<double>(r->report.write_ops)},
+           {"write_back_pages", static_cast<double>(r->write_back_pages)},
+           {"write_back_time", r->write_back_time},
+           {"reads_bit_identical", identical ? 1.0 : 0.0}});
+    }
+    if (!identical) {
+      std::printf(
+          "!! %s: read cost diverged between cap=%u and cap=1 (first at read "
+          "#%zu: %.17g vs %.17g)\n",
+          DriverPolicyToString(policy), kClients, first_diff,
+          first_diff < mixed.read_costs.size()
+              ? mixed.read_costs[first_diff]
+              : std::nan(""),
+          first_diff < solo.read_costs.size() ? solo.read_costs[first_diff]
+                                              : std::nan(""));
+    }
+    std::printf("\n");
+  }
+  bench::CloseJson();
+  if (!all_identical) {
+    std::printf("FAIL: snapshot isolation property violated\n");
+    return 1;
+  }
+  std::printf("OK: all read costs bit-identical across admission levels\n");
+  return 0;
+}

@@ -60,6 +60,7 @@ bool FullScan::NextBatchImpl(TupleBatch* out) {
       uint32_t size = 0;
       const uint8_t* data = page.GetTuple(slot, &size);
       ++slot;
+      if (data == nullptr) continue;  // Tombstoned slot.
       ++inspected;
       // Cheap key check on the serialized bytes before materializing.
       const int64_t key = schema.ReadInt64Column(data, size, key_col);

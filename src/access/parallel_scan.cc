@@ -496,6 +496,7 @@ class ParallelSwitchScanKernel : public ParallelScanKernel {
       for (uint16_t s = 0; s < page.num_slots(); ++s) {
         uint32_t size = 0;
         const uint8_t* data = page.GetTuple(s, &size);
+        if (data == nullptr) continue;  // Tombstoned slot.
         ++inspected;
         const int64_t key =
             schema.ReadInt64Column(data, size, predicate_.column);
@@ -629,6 +630,7 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
         for (uint16_t s = 0; s < page.num_slots(); ++s) {
           uint32_t size = 0;
           const uint8_t* data = page.GetTuple(s, &size);
+          if (data == nullptr) continue;  // Tombstoned slot.
           ++inspected;
           const int64_t key =
               schema.ReadInt64Column(data, size, predicate_.column);

@@ -260,6 +260,7 @@ void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
     for (uint16_t s = 0; s < page.num_slots(); ++s) {
       uint32_t size = 0;
       const uint8_t* data = page.GetTuple(s, &size);
+      if (data == nullptr) continue;  // Tombstoned slot.
       ++inspected;
       const int64_t key =
           schema.ReadInt64Column(data, size, predicate_.column);

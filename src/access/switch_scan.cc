@@ -88,6 +88,7 @@ void SwitchScan::FullScanPhase(TupleBatch* out) {
       const SlotId s = cur_slot_++;
       uint32_t size = 0;
       const uint8_t* data = page.GetTuple(s, &size);
+      if (data == nullptr) continue;  // Tombstoned slot.
       ++inspected;
       const int64_t key =
           schema.ReadInt64Column(data, size, predicate_.column);

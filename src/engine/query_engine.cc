@@ -33,6 +33,15 @@ const char* QueryLaneToString(QueryLane lane) {
 QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
     : engine_(engine), options_(options) {
   SMOOTHSCAN_CHECK(options_.max_admitted >= 1);
+  if (options_.versions != nullptr && options_.sharing != nullptr) {
+    // Snapshot publish stales any parked shared scan of the table (its chunk
+    // decomposition was sized to the old page count): retire it so the next
+    // arrival forms a fresh group. Captures the coordinator, not `this` —
+    // both must outlive the registry's last publish.
+    ScanSharingCoordinator* sharing = options_.sharing;
+    options_.versions->SetPublishHook(
+        [sharing](FileId file) { sharing->InvalidateFile(file); });
+  }
   executors_.reserve(options_.max_admitted);
   for (uint32_t i = 0; i < options_.max_admitted; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
@@ -46,10 +55,18 @@ QueryEngine::~QueryEngine() {
   }
   cv_submit_.notify_all();
   for (std::thread& t : executors_) t.join();
+  if (options_.versions != nullptr && options_.sharing != nullptr) {
+    // The hook captured the coordinator; a registry outliving this engine
+    // must not call into a possibly-freed coordinator on its next publish.
+    options_.versions->SetPublishHook(nullptr);
+  }
 }
 
 QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
-  SMOOTHSCAN_CHECK(spec.index != nullptr);
+  SMOOTHSCAN_CHECK(spec.index != nullptr || spec.writer != nullptr);
+  // Write queries need the snapshot machinery: without leases, a publish
+  // could land under an in-flight scan.
+  SMOOTHSCAN_CHECK(spec.writer == nullptr || options_.versions != nullptr);
   SMOOTHSCAN_CHECK(!spec.use_chooser ||
                    (spec.stats != nullptr && spec.cost_model != nullptr));
   Pending p;
@@ -169,7 +186,8 @@ void QueryEngine::ExecutorLoop() {
 }
 
 bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
-  if (options_.sharing == nullptr || !spec.allow_sharing || spec.need_order) {
+  if (spec.writer != nullptr || options_.sharing == nullptr ||
+      !spec.allow_sharing || spec.need_order) {
     return false;
   }
   if (!spec.use_chooser) return spec.kind == PathKind::kSharedScan;
@@ -186,10 +204,48 @@ bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
              .kind == PathKind::kSharedScan;
 }
 
-QueryResult QueryEngine::Execute(QuerySpec spec) {
+QueryResult QueryEngine::ExecuteWrite(QuerySpec spec) {
   QueryResult res;
   QueryMetrics& m = res.metrics;
   m.lane = spec.lane;
+  m.write = true;
+
+  // Per-query accounting stack, exactly like a read: the fetches that pull
+  // target pages into the buffer are this query's cost, bit-identical at any
+  // admission level. Write-back I/O is communal (charged on the engine
+  // stream at flush; see write/table_writer.h).
+  QueryContext qctx(engine_,
+                    options_.mirror_pages ? &engine_->pool() : nullptr);
+  uint64_t applied = 0;
+  res.status = spec.writer->Apply(spec.write_ops, qctx.ctx(), &applied);
+  // Metrics are captured even on a mid-batch failure: the ops before the
+  // error were applied (and will publish), so their cost is real.
+  m.tuples = applied;
+  const IoStats io = qctx.disk().stats();
+  m.io_time = io.io_time;
+  m.cpu_time = qctx.cpu().time();
+  m.sim_time = m.io_time + m.cpu_time;
+  m.io_requests = io.io_requests;
+  m.random_ios = io.random_ios;
+  m.seq_ios = io.seq_ios;
+  m.pages_read = io.pages_read;
+  return res;
+}
+
+QueryResult QueryEngine::Execute(QuerySpec spec) {
+  if (spec.writer != nullptr) return ExecuteWrite(std::move(spec));
+  QueryResult res;
+  QueryMetrics& m = res.metrics;
+  m.lane = spec.lane;
+
+  // Snapshot pin: for the scan's lifetime the table's base pages are frozen
+  // (writers go copy-on-write; publish waits for the last lease), so the
+  // result multiset and the simulated cost are those of a solo run against
+  // this snapshot.
+  TableVersionRegistry::ReadLease lease;
+  if (options_.versions != nullptr) {
+    lease = options_.versions->AcquireRead(spec.index->heap()->file_id());
+  }
 
   // Plan: reuse the cost-based chooser per stream query. With corrupted stats
   // the choice (and the estimate handed to the path) is faithfully wrong —

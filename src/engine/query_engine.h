@@ -40,6 +40,8 @@
 
 #include "plan/access_path_chooser.h"
 #include "storage/exec_context.h"
+#include "write/table_version.h"
+#include "write/table_writer.h"
 
 namespace smoothscan {
 
@@ -59,10 +61,19 @@ enum class QueryLane { kBatch = 0, kSla = 1 };
 const char* QueryLaneToString(QueryLane lane);
 
 /// One query: a selection over an indexed table, with either a fixed access
-/// path or the cost-based chooser run against (possibly lying) statistics.
+/// path or the cost-based chooser run against (possibly lying) statistics —
+/// or, when `writer` is set, a *write query*: a batch of INSERT / UPDATE /
+/// DELETE ops applied through the TableWriter.
 struct QuerySpec {
   const BPlusTree* index = nullptr;
   ScanPredicate predicate;
+
+  /// Write query: `write_ops` are applied via this writer as one
+  /// admission-controlled batch (read fields are ignored; `index` may stay
+  /// null). Requires QueryEngineOptions::versions — the snapshot machinery
+  /// is what keeps concurrent readers consistent.
+  TableWriter* writer = nullptr;
+  std::vector<WriteOp> write_ops;
 
   /// Pick the path with AccessPathChooser over `stats` + `cost_model` (both
   /// required then); the estimate handed to the path (Switch Scan threshold,
@@ -103,6 +114,7 @@ struct QueryMetrics {
   uint64_t tuples = 0;
   PathKind kind = PathKind::kFullScan;  ///< Path actually run.
   bool parallel = false;                ///< Morsel-driven leaf was used.
+  bool write = false;                   ///< This was a write query.
   QueryLane lane = QueryLane::kBatch;
 };
 
@@ -128,6 +140,15 @@ struct QueryEngineOptions {
   /// shared Page ID Cache, and batch admission becomes share-aware. Null
   /// disables all of it; the coordinator must outlive the engine.
   ScanSharingCoordinator* sharing = nullptr;
+  /// Snapshot machinery for mutable tables (src/write/): read queries hold a
+  /// table ReadLease for their execution (scans see a frozen snapshot at
+  /// solo-identical cost), write specs become admissible, and — when
+  /// `sharing` is also set — the registry's publish hook retires parked
+  /// shared-scan groups whose chunk decomposition a publish staled. Null
+  /// keeps the engine read-only, with zero overhead. Must outlive the
+  /// engine (and, because the publish hook is wired at construction, the
+  /// coordinator when both are set).
+  TableVersionRegistry* versions = nullptr;
 };
 
 class QueryEngine {
@@ -181,6 +202,7 @@ class QueryEngine {
 
   void ExecutorLoop();
   QueryResult Execute(QuerySpec spec);
+  QueryResult ExecuteWrite(QuerySpec spec);
   /// Whether the query will resolve to a shared scan (Pending::share_eligible
   /// — runs the chooser for use_chooser specs, so a selective query that
   /// will pick an index path never jumps the FIFO for nothing).

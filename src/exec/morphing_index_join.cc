@@ -35,6 +35,7 @@ void MorphingIndexJoinOp::HarvestPage(PageId pid) {
   for (uint16_t s = 0; s < page.num_slots(); ++s) {
     uint32_t size = 0;
     const uint8_t* data = page.GetTuple(s, &size);
+    if (data == nullptr) continue;  // Tombstoned slot.
     engine->cpu().ChargeInspect();
     Tuple tuple = schema.Deserialize(data, size);
     const int64_t key = tuple[key_col].AsInt64();

@@ -189,6 +189,39 @@ BPlusTree::SplitResult BPlusTree::InsertRec(PageId node_id, int64_t key,
   return {true, up, right_id};
 }
 
+bool BPlusTree::Remove(int64_t key, Tid tid) {
+  if (nodes_.empty() || num_entries_ == 0) return false;
+  // Free descent to the leftmost candidate leaf, then walk right through the
+  // (possibly duplicate-straddling) run until the exact (key, tid) entry.
+  PageId cur = root_;
+  while (!node(cur).is_leaf) {
+    const Node& n = node(cur);
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(n.keys.begin(), n.keys.end(), key) - n.keys.begin());
+    cur = n.children[idx];
+  }
+  for (PageId leaf = cur; leaf != kInvalidPageId; leaf = node(leaf).next_leaf) {
+    Node& n = node(leaf);
+    if (n.keys.empty()) continue;      // Deletion-emptied leaf mid-run.
+    if (n.keys.front() > key) break;   // Walked past any possible match.
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(n.keys.begin(), n.keys.end(), key) - n.keys.begin());
+    while (pos < n.keys.size() && n.keys[pos] == key) {
+      if (n.tids[pos] == tid) {
+        n.keys.erase(n.keys.begin() + pos);
+        n.tids.erase(n.tids.begin() + pos);
+        --num_entries_;
+        return true;
+      }
+      ++pos;
+    }
+    // pos stopped on a key > `key`: the run is over. Otherwise every key from
+    // lower_bound to the end equals `key`, so the run may continue right.
+    if (pos < n.keys.size()) break;
+  }
+  return false;
+}
+
 PageId BPlusTree::DescendAccounted(int64_t key, BufferPool* pool) const {
   SMOOTHSCAN_CHECK(!nodes_.empty());
   PageId cur = root_;
@@ -214,10 +247,10 @@ BPlusTree::Iterator BPlusTree::Seek(int64_t lo, const ExecContext* ctx) const {
   const Node& n = node(leaf);
   uint32_t pos = static_cast<uint32_t>(
       std::lower_bound(n.keys.begin(), n.keys.end(), lo) - n.keys.begin());
-  if (pos == n.keys.size()) {
-    // All keys in this leaf are below `lo`; the first match, if any, starts
-    // the next leaf.
-    leaf = n.next_leaf;
+  // All keys in this leaf below `lo` (or the leaf deletion-emptied): the
+  // first match, if any, starts in a following non-empty leaf.
+  while (leaf != kInvalidPageId && pos >= node(leaf).keys.size()) {
+    leaf = node(leaf).next_leaf;
     pos = 0;
     if (leaf != kInvalidPageId) pool->Fetch(file_id_, leaf);
   }
@@ -228,13 +261,17 @@ BPlusTree::Iterator BPlusTree::Begin() const {
   if (nodes_.empty() || num_entries_ == 0) {
     return Iterator(this, kInvalidPageId, 0, nullptr);
   }
-  // Charge the leftmost descent.
+  // Charge the leftmost descent, then skip any deletion-emptied leaves.
   PageId cur = root_;
   while (true) {
     engine_->pool().Fetch(file_id_, cur);
     const Node& n = node(cur);
     if (n.is_leaf) break;
     cur = n.children.front();
+  }
+  while (cur != kInvalidPageId && node(cur).keys.empty()) {
+    cur = node(cur).next_leaf;
+    if (cur != kInvalidPageId) engine_->pool().Fetch(file_id_, cur);
   }
   return Iterator(this, cur, 0, nullptr);
 }
@@ -261,7 +298,9 @@ void BPlusTree::Iterator::Next() {
   SMOOTHSCAN_CHECK(Valid());
   cpu().ChargeIndexEntry();
   ++pos_;
-  if (pos_ >= tree_->node(leaf_).keys.size()) {
+  // Advance across leaf boundaries, skipping deletion-emptied leaves (each
+  // visited leaf is still a charged node access).
+  while (leaf_ != kInvalidPageId && pos_ >= tree_->node(leaf_).keys.size()) {
     leaf_ = tree_->node(leaf_).next_leaf;
     pos_ = 0;
     if (leaf_ != kInvalidPageId) {
@@ -330,14 +369,21 @@ IndexMeta BPlusTree::meta() const {
 
 int64_t BPlusTree::MinKey() const {
   SMOOTHSCAN_CHECK(num_entries_ > 0);
-  return node(first_leaf_).keys.front();
+  PageId cur = first_leaf_;
+  while (node(cur).keys.empty()) cur = node(cur).next_leaf;
+  return node(cur).keys.front();
 }
 
 int64_t BPlusTree::MaxKey() const {
   SMOOTHSCAN_CHECK(num_entries_ > 0);
-  PageId cur = root_;
-  while (!node(cur).is_leaf) cur = node(cur).children.back();
-  return node(cur).keys.back();
+  // Deletes may empty the rightmost leaves, so descend-to-rightmost is not
+  // enough; walk the (in-memory, free) chain tracking the last non-empty.
+  int64_t max_key = 0;
+  for (PageId leaf = first_leaf_; leaf != kInvalidPageId;
+       leaf = node(leaf).next_leaf) {
+    if (!node(leaf).keys.empty()) max_key = node(leaf).keys.back();
+  }
+  return max_key;
 }
 
 void BPlusTree::CheckRec(PageId node_id, uint32_t depth, uint32_t leaf_depth,

@@ -71,6 +71,13 @@ class BPlusTree {
   /// Build-time operation: not I/O-accounted.
   void Insert(int64_t key, Tid tid);
 
+  /// Removes the entry (key, tid); returns false when absent. Like
+  /// PostgreSQL, leaves are never merged or rebalanced on delete — a leaf may
+  /// go underfull or empty (iterators skip empty leaves), and the space is
+  /// reclaimed by later inserts into the leaf. Maintenance operation: not
+  /// I/O-accounted (applied at snapshot publish; see write/table_version.h).
+  bool Remove(int64_t key, Tid tid);
+
   /// Forward iterator over leaf entries; query-time accesses are charged to
   /// the engine's buffer pool / CPU meter — or, when the iterator was
   /// obtained with an ExecContext, to that context's stream instead.

@@ -259,6 +259,21 @@ std::shared_ptr<const SharedScanGroup> ScanSharingCoordinator::GroupFor(
   return it == groups_.end() ? nullptr : it->second;
 }
 
+void ScanSharingCoordinator::InvalidateFile(FileId file) {
+  std::shared_ptr<SharedScanGroup> retired;  // Destroyed outside the latch.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(file);
+  if (it != groups_.end()) {
+    // Publish runs at table quiescence, so the group must be parked; its
+    // window pins drop with it.
+    SMOOTHSCAN_CHECK(it->second->stats().active_consumers == 0);
+    retired = std::move(it->second);
+    groups_.erase(it);
+  }
+  // Live SmoothScans keep their shared_ptr; only future queries re-group.
+  smooth_groups_.erase(file);
+}
+
 ScanSharingStats ScanSharingCoordinator::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ScanSharingStats total;

@@ -239,6 +239,15 @@ class ScanSharingCoordinator {
   /// observability).
   std::shared_ptr<const SharedScanGroup> GroupFor(const HeapFile* heap) const;
 
+  /// Retires the table's parked groups after a snapshot publish: the circular
+  /// scan's chunk decomposition (and the shared Smooth Scan's page-id bitmap)
+  /// were sized to the pre-publish page count, so the next arrival must form
+  /// a fresh group over the new snapshot. Requires zero active consumers —
+  /// guaranteed at publish time, because every consumer's query holds a table
+  /// read lease and publish only runs at quiescence (the "drain" half of
+  /// drain-or-invalidate). No-op for tables without groups.
+  void InvalidateFile(FileId file);
+
   ScanSharingStats stats() const;
 
   Engine* engine() const { return engine_; }

@@ -61,6 +61,7 @@ bool SharedScanPath::NextBatchImpl(TupleBatch* out) {
       uint32_t size = 0;
       const uint8_t* data = page.GetTuple(slot, &size);
       ++slot;
+      if (data == nullptr) continue;  // Tombstoned slot.
       ++inspected;
       const int64_t key = schema.ReadInt64Column(data, size, key_col);
       if (key < lo || key >= hi) continue;

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace smoothscan {
 
@@ -36,15 +37,19 @@ void BufferPool::SetMirror(BufferPool* mirror) {
 
 void BufferPool::PinKey(uint64_t key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-    ++it->second.pins;
-  } else {
-    InsertLocked(&shard, key);
-    ++shard.map[key].pins;
+  uint64_t evicted = kNoWriteBack;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ++it->second.pins;
+    } else {
+      evicted = InsertLocked(&shard, key);
+      ++shard.map[key].pins;
+    }
   }
+  ChargeWriteBack(evicted);
 }
 
 void BufferPool::UnpinKey(uint64_t key) {
@@ -57,13 +62,17 @@ void BufferPool::UnpinKey(uint64_t key) {
 
 void BufferPool::TouchKey(uint64_t key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-  } else {
-    InsertLocked(&shard, key);
+  uint64_t evicted = kNoWriteBack;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    } else {
+      evicted = InsertLocked(&shard, key);
+    }
   }
+  ChargeWriteBack(evicted);
 }
 
 bool BufferPool::Contains(FileId file, PageId page) const {
@@ -73,26 +82,35 @@ bool BufferPool::Contains(FileId file, PageId page) const {
   return shard.map.count(key) > 0;
 }
 
-void BufferPool::InsertLocked(Shard* shard, uint64_t key) {
+uint64_t BufferPool::InsertLocked(Shard* shard, uint64_t key) {
+  uint64_t write_back = kNoWriteBack;
   if (shard->map.size() >= shard->capacity) {
     // Evict the least recently used unpinned page. When everything is pinned
-    // the shard transiently overflows its capacity share — pins win.
+    // the shard transiently overflows its capacity share — pins win. A dirty
+    // victim is written back before it is dropped (the caller charges it
+    // after unlocking): eviction must never lose a mutation.
     for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
       auto victim = shard->map.find(*it);
       if (victim->second.pins > 0) continue;
+      if (victim->second.dirty) {
+        write_back = *it;
+        ++shard->stats.write_backs;
+      }
       shard->lru.erase(std::next(it).base());
       shard->map.erase(victim);
       break;
     }
   }
   shard->lru.push_front(key);
-  shard->map[key] = Entry{shard->lru.begin(), 0};
+  shard->map[key] = Entry{shard->lru.begin(), 0, false};
+  return write_back;
 }
 
 PageGuard BufferPool::Fetch(FileId file, PageId page) {
   const uint64_t key = Key(file, page);
   Shard& shard = ShardFor(key);
   bool miss = false;
+  uint64_t evicted = kNoWriteBack;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
@@ -103,11 +121,12 @@ PageGuard BufferPool::Fetch(FileId file, PageId page) {
     } else {
       ++shard.stats.misses;
       miss = true;
-      InsertLocked(&shard, key);
+      evicted = InsertLocked(&shard, key);
       ++shard.map[key].pins;
     }
   }
   // Charge outside the shard latch; SimDisk serializes internally.
+  ChargeWriteBack(evicted);
   if (miss) disk_->ReadPage(file, page);
   if (mirror_ != nullptr) mirror_->PinKey(key);
   return PageGuard(this, key, &storage_->GetPage(file, page));
@@ -130,6 +149,7 @@ PageGuard BufferPool::PinIfResident(FileId file, PageId page) {
 PageGuard BufferPool::Pin(FileId file, PageId page) {
   const uint64_t key = Key(file, page);
   Shard& shard = ShardFor(key);
+  uint64_t evicted = kNoWriteBack;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
@@ -137,10 +157,11 @@ PageGuard BufferPool::Pin(FileId file, PageId page) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
       ++it->second.pins;
     } else {
-      InsertLocked(&shard, key);
+      evicted = InsertLocked(&shard, key);
       ++shard.map[key].pins;
     }
   }
+  ChargeWriteBack(evicted);
   if (mirror_ != nullptr) mirror_->PinKey(key);
   return PageGuard(this, key, &storage_->GetPage(file, page));
 }
@@ -186,30 +207,89 @@ void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
   for (PageId p = lo; p <= hi; ++p) {
     const uint64_t key = Key(file, p);
     Shard& shard = ShardFor(key);
+    uint64_t evicted = kNoWriteBack;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      } else {
+        ++shard.stats.misses;
+        evicted = InsertLocked(&shard, key);
+      }
+    }
+    ChargeWriteBack(evicted);
+  }
+}
+
+void BufferPool::MarkDirty(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  Shard& shard = ShardFor(key);
+  uint64_t evicted = kNoWriteBack;
+  {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      it->second.dirty = true;
     } else {
-      ++shard.stats.misses;
-      InsertLocked(&shard, key);
+      evicted = InsertLocked(&shard, key);
+      shard.map[key].dirty = true;
     }
   }
+  ChargeWriteBack(evicted);
+}
+
+bool BufferPool::FlushPage(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end() || !it->second.dirty) return false;
+    it->second.dirty = false;
+    ++shard.stats.write_backs;
+  }
+  // Charge outside the shard latch; SimDisk serializes internally.
+  disk_->WritePage(file, page);
+  return true;
 }
 
 size_t BufferPool::FlushAll() {
   size_t pinned = 0;
+  std::vector<uint64_t> write_back;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    const size_t before = write_back.size();
     for (auto it = shard->map.begin(); it != shard->map.end();) {
       if (it->second.pins > 0) {
-        ++pinned;  // Skip + report: a pinned page is never invalidated.
+        // Skip + report: a pinned page is never invalidated. A pinned dirty
+        // page keeps its dirty bit — the write-back is queued for the next
+        // flush (or the eviction after the unpin), never dropped.
+        ++pinned;
         ++it;
       } else {
+        if (it->second.dirty) write_back.push_back(it->first);
         shard->lru.erase(it->second.lru_it);
         it = shard->map.erase(it);
       }
     }
+    shard->stats.write_backs += write_back.size() - before;
+  }
+  // Charge the write-backs as extent writes over sorted (file, page) runs —
+  // deterministic in the dirty *set*, independent of shard layout and
+  // eviction order (the write-back accounting determinism the tests pin).
+  std::sort(write_back.begin(), write_back.end());
+  size_t i = 0;
+  while (i < write_back.size()) {
+    size_t j = i + 1;
+    while (j < write_back.size() && write_back[j] == write_back[j - 1] + 1 &&
+           FileOf(write_back[j]) == FileOf(write_back[i])) {
+      ++j;
+    }
+    disk_->WriteExtent(FileOf(write_back[i]), PageOf(write_back[i]),
+                       static_cast<uint32_t>(j - i));
+    i = j;
   }
   return pinned;
 }
@@ -220,6 +300,7 @@ BufferPoolStats BufferPool::stats() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
+    total.write_backs += shard->stats.write_backs;
   }
   return total;
 }
@@ -239,6 +320,17 @@ uint64_t BufferPool::pinned_pages() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (const auto& [key, entry] : shard->map) {
       if (entry.pins > 0) ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t BufferPool::dirty_pages() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->map) {
+      if (entry.dirty) ++n;
     }
   }
   return n;

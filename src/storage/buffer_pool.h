@@ -33,6 +33,7 @@ class BufferPool;
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t write_backs = 0;  ///< Dirty pages written back (flush + eviction).
 };
 
 /// A pinned reference to a buffer-pool page. While the guard lives, the page
@@ -114,9 +115,29 @@ class BufferPool {
   /// physical extent read cannot skip holes in the middle. Takes no pins.
   void FetchExtent(FileId file, PageId first, uint32_t num_pages);
 
-  /// Evicts every unpinned page: the next access to such a page is a cold
-  /// miss. Pinned pages are skipped — never invalidated — and their count is
-  /// returned so callers can report an incomplete flush.
+  /// Marks `page` of `file` dirty: its content diverges from "disk" and must
+  /// be written back (charged through SimDisk) before the frame can be
+  /// dropped. Inserts the frame if absent — a freshly published page is
+  /// buffer-resident by definition — with no read charge and no hit/miss
+  /// accounting. The dirty bit is strictly local: it never propagates to a
+  /// mirror, so a query-private pool mirroring into the engine pool can never
+  /// cause double-charged write I/O (see SetMirror).
+  void MarkDirty(FileId file, PageId page);
+
+  /// Writes back `page` of `file` if resident and dirty (one WritePage
+  /// charge), clearing the dirty bit; the frame stays resident. Returns true
+  /// when a write-back happened. Pins are irrelevant here — write-back does
+  /// not invalidate the frame.
+  bool FlushPage(FileId file, PageId page);
+
+  /// Writes back every dirty page it can and evicts every unpinned page: the
+  /// next access to an evicted page is a cold miss. Write-backs are charged
+  /// as extent writes over (file, page)-sorted runs, so flush cost is a pure
+  /// function of the dirty set, not of eviction order. Pinned pages are
+  /// skipped — never invalidated — and their count is returned; a *pinned
+  /// dirty* page keeps its dirty bit, queueing the write-back for the next
+  /// FlushPage/FlushAll (or for the eviction that follows the unpin), so no
+  /// mutation is ever silently dropped.
   size_t FlushAll();
 
   /// True when the page is resident (no I/O charged; no LRU update).
@@ -132,6 +153,12 @@ class BufferPool {
   /// concurrent queries genuinely contend on shard latches, LRU state and pin
   /// counts. Must be set before the first fetch; pass null to detach. The
   /// mirror itself must not have a mirror.
+  ///
+  /// Write-I/O audit: mirror-side frames are always inserted *clean* and
+  /// MarkDirty never forwards to the mirror, so a mirrored fetch (or pin) of
+  /// a page that is dirty in the engine pool can neither clear that dirty bit
+  /// nor charge a second write-back to any stream — write I/O for a page is
+  /// charged exactly once, by the pool that owns the dirty bit.
   void SetMirror(BufferPool* mirror);
 
   /// Aggregated over shards (copied under the shard latches).
@@ -141,6 +168,8 @@ class BufferPool {
   size_t size() const;
   /// Currently pinned pages (for tests / flush reporting).
   uint64_t pinned_pages() const;
+  /// Currently dirty pages (for tests / flush reporting).
+  uint64_t dirty_pages() const;
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
 
  private:
@@ -149,6 +178,7 @@ class BufferPool {
   struct Entry {
     std::list<uint64_t>::iterator lru_it;
     uint32_t pins = 0;
+    bool dirty = false;  ///< Content newer than "disk"; write back to drop.
   };
   struct Shard {
     mutable std::mutex mu;
@@ -164,6 +194,7 @@ class BufferPool {
     return (static_cast<uint64_t>(file) << 32) | page;
   }
   static PageId PageOf(uint64_t key) { return static_cast<PageId>(key); }
+  static FileId FileOf(uint64_t key) { return static_cast<FileId>(key >> 32); }
 
   Shard& ShardFor(uint64_t key) {
     // Consecutive pages round-robin across shards so sequential scans spread.
@@ -173,9 +204,22 @@ class BufferPool {
     return *shards_[PageOf(key) % shards_.size()];
   }
 
+  /// Sentinel return of InsertLocked: no dirty page was evicted.
+  static constexpr uint64_t kNoWriteBack = ~0ull;
+
   /// Inserts `key` as most-recently-used in its shard (which must be locked),
   /// evicting the least recently used *unpinned* page if the shard is full.
-  void InsertLocked(Shard* shard, uint64_t key);
+  /// A dirty victim's write-back is counted here but *charged by the caller*
+  /// (after releasing the shard latch — SimDisk has its own latch and the
+  /// fetch hot path must not nest them): returns the evicted dirty key, or
+  /// kNoWriteBack.
+  uint64_t InsertLocked(Shard* shard, uint64_t key);
+  /// Charges the write-back InsertLocked reported, outside the shard latch.
+  void ChargeWriteBack(uint64_t evicted) {
+    if (evicted != kNoWriteBack) {
+      disk_->WritePage(FileOf(evicted), PageOf(evicted));
+    }
+  }
   void Unpin(uint64_t key);
 
   /// Mirror-side primitives: insert-or-touch `key` (optionally taking a pin),

@@ -28,6 +28,10 @@ struct CpuCosts {
   double sort_per_cmp = 2e-4;
   /// One hash-table build or probe operation in joins/aggregates.
   double hash_op = 2e-4;
+  /// Applying one mutation to a slotted page (serialize + slot bookkeeping;
+  /// index-maintenance queueing is amortized in). Writes cost more than
+  /// inspection but stay far below one page I/O, like the other constants.
+  double write_tuple = 1e-3;
 };
 
 /// Accumulates simulated CPU time.
@@ -57,6 +61,9 @@ class CpuMeter {
   }
   void ChargeHashOp(uint64_t ops = 1) {
     time_ += costs_.hash_op * static_cast<double>(ops);
+  }
+  void ChargeWriteTuple(uint64_t tuples = 1) {
+    time_ += costs_.write_tuple * static_cast<double>(tuples);
   }
   /// Adds another meter's accumulated time (morsel merge; callers merge in
   /// morsel order so double accumulation stays deterministic).

@@ -31,6 +31,9 @@ Tuple HeapFile::Read(Tid tid, const ExecContext& ctx) const {
   const PageGuard page = ctx.pool->Fetch(file_id_, tid.page_id);
   uint32_t size = 0;
   const uint8_t* data = page->GetTuple(tid.slot, &size);
+  // Reading a tombstoned Tid is a bug: index maintenance removes an entry in
+  // the same publish that kills its slot.
+  SMOOTHSCAN_CHECK(data != nullptr);
   return schema_.Deserialize(data, size);
 }
 
@@ -43,6 +46,7 @@ void HeapFile::ForEachDirect(
     for (uint16_t s = 0; s < page.num_slots(); ++s) {
       uint32_t size = 0;
       const uint8_t* data = page.GetTuple(s, &size);
+      if (data == nullptr) continue;  // Tombstoned slot.
       fn(Tid{static_cast<PageId>(p), s}, schema_.Deserialize(data, size));
     }
   }

@@ -41,6 +41,13 @@ class HeapFile {
   void ForEachDirect(
       const std::function<void(Tid, const Tuple&)>& fn) const;
 
+  /// Adjusts the live-tuple count (snapshot publish applies the era's net
+  /// insert/delete delta; see write/table_version.h).
+  void AddTuples(int64_t delta) {
+    num_tuples_ = static_cast<uint64_t>(
+        static_cast<int64_t>(num_tuples_) + delta);
+  }
+
   FileId file_id() const { return file_id_; }
   const Schema& schema() const { return schema_; }
   const std::string& name() const { return name_; }

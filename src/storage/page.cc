@@ -1,11 +1,16 @@
 #include "storage/page.h"
 
+#include <algorithm>
+
 namespace smoothscan {
 
 Page::Page(uint32_t page_size) : bytes_(page_size, 0) {
   SMOOTHSCAN_CHECK(page_size >= kHeaderSize + kSlotSize);
+  SMOOTHSCAN_CHECK(page_size < kDeadOffset);  // The sentinel must stay free.
   WriteU16(0, 0);             // num_slots
   WriteU32(2, kHeaderSize);   // data_end
+  WriteU16(6, 0);             // frag_bytes
+  WriteU16(8, 0);             // dead_slots
 }
 
 uint32_t Page::free_space() const {
@@ -14,21 +19,113 @@ uint32_t Page::free_space() const {
 }
 
 bool Page::Fits(uint32_t size) const {
+  // A recycled tombstone slot costs no directory growth, but reserving one
+  // slot entry keeps the check conservative and branch-free.
   return free_space() >= size + kSlotSize;
 }
 
-Result<SlotId> Page::Insert(const uint8_t* data, uint32_t size) {
-  if (!Fits(size)) {
-    return Status::ResourceExhausted("tuple does not fit in page");
-  }
-  const uint16_t slot = num_slots();
+bool Page::FitsWithCompaction(uint32_t size) const {
+  return usable_space() >= size + kSlotSize;
+}
+
+void Page::PlaceTuple(SlotId slot, const uint8_t* data, uint32_t size) {
   const uint32_t off = data_end();
   std::memcpy(bytes_.data() + off, data, size);
   WriteU16(SlotOffset(slot), static_cast<uint16_t>(off));
   WriteU16(SlotOffset(slot) + 2, static_cast<uint16_t>(size));
-  WriteU16(0, static_cast<uint16_t>(slot + 1));
   WriteU32(2, off + size);
+}
+
+Result<SlotId> Page::Insert(const uint8_t* data, uint32_t size) {
+  if (!Fits(size)) {
+    if (!FitsWithCompaction(size)) {
+      return Status::ResourceExhausted("tuple does not fit in page");
+    }
+    Compact();
+  }
+  // Recycle a tombstoned slot before growing the directory.
+  if (dead_slots() > 0) {
+    const uint16_t n = num_slots();
+    for (uint16_t s = 0; s < n; ++s) {
+      if (ReadU16(SlotOffset(s)) != kDeadOffset) continue;
+      PlaceTuple(static_cast<SlotId>(s), data, size);
+      WriteU16(8, static_cast<uint16_t>(dead_slots() - 1));
+      return static_cast<SlotId>(s);
+    }
+    SMOOTHSCAN_CHECK(false);  // dead_slots() lied.
+  }
+  const uint16_t slot = num_slots();
+  WriteU16(0, static_cast<uint16_t>(slot + 1));
+  PlaceTuple(static_cast<SlotId>(slot), data, size);
   return static_cast<SlotId>(slot);
+}
+
+Status Page::Update(SlotId slot, const uint8_t* data, uint32_t size) {
+  SMOOTHSCAN_CHECK(slot < num_slots());
+  const uint32_t old_off = ReadU16(SlotOffset(slot));
+  SMOOTHSCAN_CHECK(old_off != kDeadOffset);  // Updating a tombstone is a bug.
+  const uint32_t old_size = ReadU16(SlotOffset(slot) + 2);
+  if (size <= old_size) {
+    // In place; the tail of the old image becomes fragmentation.
+    std::memcpy(bytes_.data() + old_off, data, size);
+    WriteU16(SlotOffset(slot) + 2, static_cast<uint16_t>(size));
+    WriteU16(6, static_cast<uint16_t>(frag_bytes() + (old_size - size)));
+    return Status::OK();
+  }
+  // Growing: relocate within the page. The old image becomes reclaimable
+  // space, and the slot entry is re-used, so fit is judged against usable
+  // space plus the freed image.
+  if (usable_space() + old_size < size) {
+    return Status::ResourceExhausted("updated tuple does not fit in page");
+  }
+  // Free the old image first so Compact() can reclaim it.
+  WriteU16(SlotOffset(slot), kDeadOffset);
+  WriteU16(6, static_cast<uint16_t>(frag_bytes() + old_size));
+  if (free_space() < size) Compact();
+  SMOOTHSCAN_CHECK(free_space() >= size);
+  PlaceTuple(slot, data, size);
+  return Status::OK();
+}
+
+void Page::Delete(SlotId slot) {
+  SMOOTHSCAN_CHECK(slot < num_slots());
+  const uint32_t off = ReadU16(SlotOffset(slot));
+  SMOOTHSCAN_CHECK(off != kDeadOffset);  // Double delete is a bug.
+  const uint32_t size = ReadU16(SlotOffset(slot) + 2);
+  WriteU16(SlotOffset(slot), kDeadOffset);
+  WriteU16(SlotOffset(slot) + 2, 0);
+  WriteU16(6, static_cast<uint16_t>(frag_bytes() + size));
+  WriteU16(8, static_cast<uint16_t>(dead_slots() + 1));
+}
+
+void Page::Compact() {
+  // Collect live slots in data order so the slide never overwrites unmoved
+  // bytes, then rewrite images contiguously from the header.
+  const uint16_t n = num_slots();
+  struct Live {
+    uint32_t off;
+    uint32_t size;
+    SlotId slot;
+  };
+  std::vector<Live> live;
+  live.reserve(n);
+  for (uint16_t s = 0; s < n; ++s) {
+    const uint32_t off = ReadU16(SlotOffset(s));
+    if (off == kDeadOffset) continue;
+    live.push_back({off, ReadU16(SlotOffset(s) + 2), static_cast<SlotId>(s)});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Live& a, const Live& b) { return a.off < b.off; });
+  uint32_t write = kHeaderSize;
+  for (const Live& t : live) {
+    if (t.off != write) {
+      std::memmove(bytes_.data() + write, bytes_.data() + t.off, t.size);
+      WriteU16(SlotOffset(t.slot), static_cast<uint16_t>(write));
+    }
+    write += t.size;
+  }
+  WriteU32(2, write);
+  WriteU16(6, 0);
 }
 
 }  // namespace smoothscan

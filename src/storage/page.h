@@ -4,6 +4,15 @@
 // the end of the page.
 //
 //   [ header | tuple0 tuple1 ... -> free space <- ... slot1 slot0 ]
+//
+// Mutation model (the write path): slots are stable addresses — Delete()
+// tombstones a slot in place (its Tid never points at another tuple's bytes)
+// and Update() rewrites a slot's bytes, relocating them within the page when
+// the new image is larger. Dead bytes accumulate as fragmentation that
+// Compact() reclaims by sliding live tuples together without renumbering any
+// slot; Insert() compacts automatically when contiguous free space is short
+// but reclaimable space suffices, and re-uses tombstoned slot entries before
+// growing the directory.
 
 #ifndef SMOOTHSCAN_STORAGE_PAGE_H_
 #define SMOOTHSCAN_STORAGE_PAGE_H_
@@ -17,8 +26,8 @@
 
 namespace smoothscan {
 
-/// A fixed-size slotted page. Tuples are immutable once inserted (the paper's
-/// workloads are read-only after load), so there is no delete/compact path.
+/// A fixed-size slotted page supporting insert, in-place update, tombstone
+/// delete and compaction.
 class Page {
  public:
   explicit Page(uint32_t page_size = kDefaultPageSize);
@@ -28,31 +37,80 @@ class Page {
   Page(Page&&) = default;
   Page& operator=(Page&&) = default;
 
-  /// Inserts a serialized tuple. Returns the slot on success or
-  /// kResourceExhausted when the tuple does not fit.
+  /// Inserts a serialized tuple, re-using a tombstoned slot when one exists
+  /// and compacting first when fragmentation hides enough space. Returns the
+  /// slot on success or kResourceExhausted when the tuple does not fit.
   Result<SlotId> Insert(const uint8_t* data, uint32_t size);
 
-  /// True when a tuple of `size` bytes fits (data + one slot entry).
+  /// Rewrites the bytes of live slot `slot`. Shrinking or same-size updates
+  /// are in place; growing updates relocate within the page (compacting if
+  /// needed). kResourceExhausted when the new image cannot fit — the caller
+  /// must delete here and re-insert elsewhere (a moved Tid).
+  Status Update(SlotId slot, const uint8_t* data, uint32_t size);
+
+  /// Tombstones live slot `slot`. Its bytes become reclaimable
+  /// fragmentation; the slot id is recycled by a later Insert.
+  void Delete(SlotId slot);
+
+  /// True when `slot` holds a live tuple (false once tombstoned).
+  bool IsLive(SlotId slot) const {
+    SMOOTHSCAN_CHECK(slot < num_slots());
+    return ReadU16(SlotOffset(slot)) != kDeadOffset;
+  }
+
+  /// Overwrites this page's bytes with `other`'s (snapshot publish: the page
+  /// object — and every pointer to it — stays put, only content changes).
+  void CopyFrom(const Page& other) {
+    SMOOTHSCAN_CHECK(other.bytes_.size() == bytes_.size());
+    bytes_ = other.bytes_;
+  }
+
+  /// True when a tuple of `size` bytes fits without compaction.
   bool Fits(uint32_t size) const;
 
-  uint16_t num_slots() const { return ReadU16(0); }
+  /// True when a tuple of `size` bytes fits once fragmentation is compacted
+  /// away (the free-space-map's notion of usable space).
+  bool FitsWithCompaction(uint32_t size) const;
 
-  /// Pointer to the serialized bytes of `slot`. `size` receives the length.
+  /// Slides live tuples together, reclaiming fragmentation. Slot ids are
+  /// preserved; only data offsets move.
+  void Compact();
+
+  uint16_t num_slots() const { return ReadU16(0); }
+  /// Slots holding live tuples.
+  uint16_t live_slots() const { return num_slots() - dead_slots(); }
+
+  /// Pointer to the serialized bytes of `slot`, or nullptr (with *size = 0)
+  /// for a tombstoned slot — scan loops skip dead slots on the null.
   /// Inline: this sits in the per-slot hot loop of every scan.
   const uint8_t* GetTuple(SlotId slot, uint32_t* size) const {
     SMOOTHSCAN_CHECK(slot < num_slots());
     const uint32_t off = ReadU16(SlotOffset(slot));
+    if (off == kDeadOffset) {
+      *size = 0;
+      return nullptr;
+    }
     *size = ReadU16(SlotOffset(slot) + 2);
     return bytes_.data() + off;
   }
 
   uint32_t page_size() const { return static_cast<uint32_t>(bytes_.size()); }
+  /// Contiguous free bytes between the data area and the slot directory.
   uint32_t free_space() const;
+  /// Dead bytes reclaimable by Compact().
+  uint32_t frag_bytes() const { return ReadU16(6); }
+  /// Bytes an Insert can use after compaction (data only; the slot entry is
+  /// accounted by Fits*).
+  uint32_t usable_space() const { return free_space() + frag_bytes(); }
 
  private:
-  // Header layout: [u16 num_slots][u32 data_end].
-  static constexpr uint32_t kHeaderSize = 6;
+  // Header layout:
+  //   [u16 num_slots][u32 data_end][u16 frag_bytes][u16 dead_slots].
+  static constexpr uint32_t kHeaderSize = 10;
   static constexpr uint32_t kSlotSize = 4;  // [u16 offset][u16 length]
+  /// Slot-offset sentinel marking a tombstoned slot (no tuple can start at
+  /// the last byte of a page, and page sizes stay below 64 K).
+  static constexpr uint16_t kDeadOffset = 0xFFFF;
 
   uint16_t ReadU16(uint32_t off) const {
     uint16_t v;
@@ -72,9 +130,12 @@ class Page {
   }
 
   uint32_t data_end() const { return ReadU32(2); }
+  uint16_t dead_slots() const { return ReadU16(8); }
   uint32_t SlotOffset(SlotId slot) const {
     return page_size() - kSlotSize * (static_cast<uint32_t>(slot) + 1);
   }
+  /// Writes `data` at data_end under an existing slot entry.
+  void PlaceTuple(SlotId slot, const uint8_t* data, uint32_t size);
 
   std::vector<uint8_t> bytes_;
 };

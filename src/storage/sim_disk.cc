@@ -59,4 +59,8 @@ void SimDisk::WriteExtent(FileId file, PageId first, uint32_t num_pages) {
   Access(file, first, num_pages, /*is_write=*/true);
 }
 
+void SimDisk::WritePage(FileId file, PageId page) {
+  Access(file, page, 1, /*is_write=*/true);
+}
+
 }  // namespace smoothscan

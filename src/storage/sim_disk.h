@@ -107,9 +107,13 @@ class SimDisk {
   /// Mode 2 and the read-ahead a full scan enjoys.
   void ReadExtent(FileId file, PageId first, uint32_t num_pages);
 
-  /// Charges one extent write (overflow-file spills). Same positioning model
-  /// as reads; counted in `pages_written`.
+  /// Charges one extent write (overflow-file spills, dirty-page write-back).
+  /// Same positioning model as reads; counted in `pages_written`.
   void WriteExtent(FileId file, PageId first, uint32_t num_pages);
+
+  /// Charges one single-page write of `page` in `file` (dirty-frame
+  /// write-back of an isolated page).
+  void WritePage(FileId file, PageId page);
 
   /// Snapshot of the counters (copied under the latch).
   IoStats stats() const {

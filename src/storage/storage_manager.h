@@ -16,6 +16,7 @@
 #ifndef SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_
 #define SMOOTHSCAN_STORAGE_STORAGE_MANAGER_H_
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -67,7 +68,11 @@ class StorageManager {
 
   uint32_t page_size_;
   mutable std::mutex mu_;  ///< Guards structure mutation (files/page vectors).
-  std::vector<File> files_;
+  /// A deque so File references stay stable across CreateFile — snapshot
+  /// publish may append pages to one table while queries run against others.
+  /// Same-table append-vs-read is excluded by the table read leases
+  /// (write/table_version.h), not by a latch here.
+  std::deque<File> files_;
 };
 
 }  // namespace smoothscan

@@ -49,6 +49,12 @@ class MicroBenchDb {
 
   const HeapFile& heap() const { return *heap_; }
   const BPlusTree& index() const { return *index_; }
+  /// Mutable access for the write path (TableWriter construction).
+  HeapFile* mutable_heap() { return heap_.get(); }
+  BPlusTree* mutable_index() { return index_.get(); }
+  /// Upper bound of the generated value domain (inserts that drift the
+  /// selectivity distribution draw from it).
+  int64_t value_max() const { return value_max_; }
 
   /// Column index of c2, the indexed column.
   static constexpr int kIndexedColumn = 1;

@@ -1,7 +1,9 @@
 #include "workload/workload_driver.h"
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
+#include <cstddef>
 #include <thread>
 
 #include "common/rng.h"
@@ -59,6 +61,45 @@ std::vector<StreamPhase> WorkloadOptions::HotSpotPhases(
   return {hot};
 }
 
+std::vector<StreamPhase> WorkloadOptions::MixedWritePhases(
+    uint32_t queries_per_phase, uint32_t write_queries_per_phase) {
+  // The statistics are computed once, before any write; the phases then
+  // mutate the low-key range the read predicates cover, so the true
+  // qualifying counts drift away under the chooser's feet even at
+  // estimate_error = 1 ("honest but stale").
+  StreamPhase warm;  // Insert-heavy: the hot range densifies.
+  warm.selectivity_lo = 0.02;
+  warm.selectivity_hi = 0.1;
+  warm.queries = queries_per_phase;
+  warm.write_queries = write_queries_per_phase;
+  warm.insert_sel_lo = 0.0;
+  warm.insert_sel_hi = 0.1;
+  warm.insert_weight = 4.0;
+  warm.update_weight = 1.0;
+  warm.delete_weight = 1.0;
+  StreamPhase churn;  // Balanced churn at mid selectivity.
+  churn.selectivity_lo = 0.05;
+  churn.selectivity_hi = 0.25;
+  churn.queries = queries_per_phase;
+  churn.write_queries = write_queries_per_phase;
+  churn.insert_sel_lo = 0.0;
+  churn.insert_sel_hi = 0.3;
+  churn.insert_weight = 1.0;
+  churn.update_weight = 2.0;
+  churn.delete_weight = 1.0;
+  StreamPhase thin;  // Delete-heavy: the hot range hollows out again.
+  thin.selectivity_lo = 0.1;
+  thin.selectivity_hi = 0.4;
+  thin.queries = queries_per_phase;
+  thin.write_queries = write_queries_per_phase;
+  thin.insert_sel_lo = 0.5;
+  thin.insert_sel_hi = 1.0;
+  thin.insert_weight = 1.0;
+  thin.update_weight = 1.0;
+  thin.delete_weight = 4.0;
+  return {warm, churn, thin};
+}
+
 WorkloadDriver::WorkloadDriver(Engine* engine, const MicroBenchDb* db,
                                QueryEngine* qe)
     : engine_(engine), db_(db), qe_(qe) {}
@@ -94,9 +135,59 @@ QuerySpec WorkloadDriver::SpecFor(const StreamPhase& phase, double selectivity,
   return spec;
 }
 
+std::vector<WriteOp> WorkloadDriver::GenWriteOps(const StreamPhase& phase,
+                                                 Rng* rng,
+                                                 WriteGenState* state) const {
+  const Schema& schema = db_->heap().schema();
+  const int64_t value_max = db_->value_max();
+  const double total_weight =
+      phase.insert_weight + phase.update_weight + phase.delete_weight;
+  // Insert and update payloads share one generator: unique c1, indexed key
+  // from the phase's drift window, the rest uniform like the table's.
+  auto drift_tuple = [&] {
+    Tuple tuple(schema.num_columns());
+    tuple[0] = Value::Int64(state->next_c1++);
+    const double frac =
+        rng->UniformDouble(phase.insert_sel_lo, phase.insert_sel_hi);
+    tuple[MicroBenchDb::kIndexedColumn] = Value::Int64(
+        static_cast<int64_t>(frac * static_cast<double>(value_max)));
+    for (size_t c = 2; c < schema.num_columns(); ++c) {
+      tuple[c] = Value::Int64(rng->UniformInt(0, value_max));
+    }
+    return tuple;
+  };
+  std::vector<WriteOp> ops;
+  ops.reserve(phase.write_ops);
+  for (uint32_t i = 0; i < phase.write_ops; ++i) {
+    const double pick = rng->UniformDouble() * total_weight;
+    if (pick < phase.insert_weight || total_weight == 0.0) {
+      ops.push_back(WriteOp::MakeInsert(drift_tuple()));
+      continue;
+    }
+    // Update/delete target a uniformly drawn Tid over the table's original
+    // extent. A draw landing on a dead (or never-populated) slot is applied
+    // as a deterministic no-op — the op *stream* stays a pure function of
+    // the seed either way.
+    const Tid tid{
+        static_cast<PageId>(rng->UniformInt(0, state->target_pages - 1)),
+        static_cast<SlotId>(rng->UniformInt(0, state->slot_range - 1))};
+    if (pick < phase.insert_weight + phase.update_weight) {
+      ops.push_back(WriteOp::MakeUpdate(tid, drift_tuple()));
+    } else {
+      ops.push_back(WriteOp::MakeDelete(tid));
+    }
+  }
+  return ops;
+}
+
 WorkloadReport WorkloadDriver::Run(const WorkloadOptions& options) {
   SMOOTHSCAN_CHECK(options.clients >= 1);
   SMOOTHSCAN_CHECK(!options.phases.empty());
+  bool any_writes = false;
+  for (const StreamPhase& phase : options.phases) {
+    any_writes = any_writes || phase.write_queries > 0;
+  }
+  SMOOTHSCAN_CHECK(!any_writes || options.writer != nullptr);
 
   // Statistics are computed once (the paper's frozen-stats scenario) and
   // corrupted per phase; each phase owns its copy so concurrent clients of
@@ -122,7 +213,37 @@ WorkloadReport WorkloadDriver::Run(const WorkloadOptions& options) {
   // Closed loop: each client thread submits one query, waits for it, then
   // submits the next — the queue depth the engine sees is bounded by the
   // client count, and queue wait only appears once clients outnumber the
-  // admission cap.
+  // admission cap. Client 0 doubles as the writer client in phases with a
+  // write mix, interleaving write queries proportionally among its reads.
+  const FileId table = db_->heap().file_id();
+  const bool pin_phases = options.versions != nullptr && options.phase_barrier;
+  TableVersionRegistry::ReadLease phase_lease;
+  if (pin_phases) phase_lease = options.versions->AcquireRead(table);
+  // Phase barrier: the completion step (run by exactly one thread, between
+  // generations) rotates the snapshot lease, so pending eras publish at the
+  // boundary and nowhere else.
+  size_t completed_phases = 0;
+  auto rotate_lease = [&]() noexcept {
+    ++completed_phases;
+    if (!pin_phases) return;
+    phase_lease.Release();
+    if (completed_phases < options.phases.size()) {
+      phase_lease = options.versions->AcquireRead(table);
+    }
+  };
+  std::barrier barrier(static_cast<std::ptrdiff_t>(options.clients),
+                       rotate_lease);
+
+  // Update/delete targets draw over the table's extent at workload start —
+  // frozen here so the op stream is identical however many phases already
+  // ran in another configuration of the same seed.
+  WriteGenState write_state;
+  write_state.next_c1 = static_cast<int64_t>(db_->heap().num_tuples());
+  write_state.target_pages = static_cast<PageId>(db_->heap().num_pages());
+  write_state.slot_range = static_cast<uint32_t>(std::max<uint64_t>(
+      1, 2 * db_->heap().num_tuples() /
+             std::max<uint64_t>(1, db_->heap().num_pages())));
+
   std::vector<std::vector<QueryMetrics>> per_client(options.clients);
   const Rng root(options.seed);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -134,19 +255,42 @@ WorkloadReport WorkloadDriver::Run(const WorkloadOptions& options) {
       std::vector<QueryMetrics>& out = per_client[c];
       for (size_t ph = 0; ph < options.phases.size(); ++ph) {
         const StreamPhase& phase = options.phases[ph];
-        for (uint32_t q = 0; q < phase.queries; ++q) {
-          const double sel = rng.UniformDouble(phase.selectivity_lo,
-                                               phase.selectivity_hi);
-          const QueryEngine::QueryId id = qe_->Submit(
-              SpecFor(phase, sel, &phase_stats[ph], &model, options));
+        const bool writer_client =
+            c == 0 && options.writer != nullptr && phase.write_queries > 0;
+        uint32_t reads = 0;
+        uint32_t writes = 0;
+        while (reads < phase.queries ||
+               (writer_client && writes < phase.write_queries)) {
+          const bool do_write =
+              writer_client && writes < phase.write_queries &&
+              (reads >= phase.queries ||
+               static_cast<uint64_t>(writes) * phase.queries <=
+                   static_cast<uint64_t>(reads) * phase.write_queries);
+          QueryEngine::QueryId id;
+          if (do_write) {
+            QuerySpec spec;
+            spec.writer = options.writer;
+            spec.write_ops = GenWriteOps(phase, &rng, &write_state);
+            spec.lane = phase.lane;
+            id = qe_->Submit(std::move(spec));
+            ++writes;
+          } else {
+            const double sel = rng.UniformDouble(phase.selectivity_lo,
+                                                 phase.selectivity_hi);
+            id = qe_->Submit(
+                SpecFor(phase, sel, &phase_stats[ph], &model, options));
+            ++reads;
+          }
           QueryResult result = qe_->Wait(id);
           SMOOTHSCAN_CHECK(result.status.ok());
           out.push_back(result.metrics);
         }
+        if (options.phase_barrier) barrier.arrive_and_wait();
       }
     });
   }
   for (std::thread& t : clients) t.join();
+  phase_lease.Release();
   const auto wall_end = std::chrono::steady_clock::now();
 
   WorkloadReport report;
@@ -155,15 +299,22 @@ WorkloadReport WorkloadDriver::Run(const WorkloadOptions& options) {
   std::vector<double> latencies;
   for (const std::vector<QueryMetrics>& metrics : per_client) {
     for (const QueryMetrics& m : metrics) {
+      report.total_sim_time += m.sim_time;
+      report.per_query.push_back(m);
+      if (m.write) {
+        // Writes are tracked apart so the classic read-side metrics stay
+        // comparable with read-only configurations.
+        ++report.write_queries;
+        report.write_ops += m.tuples;
+        continue;
+      }
       ++report.queries;
       report.tuples += m.tuples;
-      report.total_sim_time += m.sim_time;
       report.mean_latency_ms += m.latency_ms;
       report.mean_queue_ms += m.queue_wait_ms;
       report.max_latency_ms = std::max(report.max_latency_ms, m.latency_ms);
       ++report.path_counts[static_cast<int>(m.kind)];
       latencies.push_back(m.latency_ms);
-      report.per_query.push_back(m);
     }
   }
   if (report.queries > 0) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "engine/query_engine.h"
 #include "workload/micro_bench.h"
 
@@ -36,6 +37,25 @@ struct StreamPhase {
   /// Queries each client submits in this phase.
   uint32_t queries = 4;
   QueryLane lane = QueryLane::kBatch;
+
+  // --- Write mix (requires WorkloadOptions::writer; client 0 becomes the
+  // writer client and interleaves these with its reads). Mutations drift the
+  // *data* under the chooser's frozen statistics — the complement of
+  // estimate_error, which only drifts the *queries*.
+  /// Write queries client 0 submits this phase (each one admission-
+  /// controlled batch of `write_ops` mutations).
+  uint32_t write_queries = 0;
+  /// Mutations per write query.
+  uint32_t write_ops = 32;
+  /// Inserted tuples draw their indexed key uniform from this selectivity
+  /// window of the value domain (e.g. [0, 0.1] piles new tuples into the
+  /// low-key range every low-selectivity predicate hits).
+  double insert_sel_lo = 0.0;
+  double insert_sel_hi = 1.0;
+  /// Relative op-kind weights within a write query.
+  double insert_weight = 1.0;
+  double update_weight = 1.0;
+  double delete_weight = 1.0;
 };
 
 /// How the driver picks each query's access path.
@@ -58,6 +78,21 @@ struct WorkloadOptions {
   uint64_t seed = 7;
   std::vector<StreamPhase> phases;
 
+  /// Write path (all three null/false = the read-only driver of PR 3/4):
+  /// the table's writer, enabling phases with write_queries > 0. The
+  /// QueryEngine must be configured with the matching TableVersionRegistry.
+  TableWriter* writer = nullptr;
+  /// When set with `phase_barrier`, the driver pins the phase snapshot: it
+  /// holds a table ReadLease across each phase and rotates it at the phase
+  /// barrier, so every era publishes exactly at a phase boundary. Reads in
+  /// phase k therefore all see the snapshot left by phase k-1's writes —
+  /// which makes every per-query simulated read cost a pure function of
+  /// (spec, phase), bit-identical across admission levels (bench_write_mix's
+  /// acceptance property).
+  TableVersionRegistry* versions = nullptr;
+  /// Synchronize all clients at phase boundaries.
+  bool phase_barrier = false;
+
   /// The paper's three-phase drift with a lying optimizer: trickle-selective
   /// queries the stats get right, then a mid-selectivity phase the stats
   /// underestimate 100x (index-scan trap), then a high-selectivity phase
@@ -69,11 +104,22 @@ struct WorkloadOptions {
   /// independent passes waste N-1 of them and a cooperative shared scan
   /// collapses them toward one (bench_shared_scan sweeps it).
   static std::vector<StreamPhase> HotSpotPhases(uint32_t queries_per_client);
+
+  /// Three mixed read/write phases with *data* drift: client 0 piles inserts
+  /// into the low-key window every predicate hits (and deletes/updates
+  /// arbitrary rows) while all clients read — so actual selectivities creep
+  /// away from the chooser's statistics, which were computed once, before
+  /// any mutation (the stale-stats scenario of Leis et al. replayed under
+  /// writes).
+  static std::vector<StreamPhase> MixedWritePhases(
+      uint32_t queries_per_phase, uint32_t write_queries_per_phase);
 };
 
 /// Workload-level results, aggregated over every completed query.
 struct WorkloadReport {
-  uint64_t queries = 0;
+  uint64_t queries = 0;       ///< Read queries completed.
+  uint64_t write_queries = 0; ///< Write queries completed.
+  uint64_t write_ops = 0;     ///< Mutations applied (ops in write queries).
   uint64_t tuples = 0;
   double wall_ms = 0.0;  ///< Whole-run wall clock (all clients).
   double qps = 0.0;      ///< queries / wall seconds.
@@ -93,7 +139,9 @@ struct WorkloadReport {
   double total_sim_time = 0.0;
   /// Queries that ran each PathKind (indexed by its enum value).
   uint64_t path_counts[kNumPathKinds] = {0, 0, 0, 0, 0, 0};
-  /// Every query's metrics, in completion-collection order (per client).
+  /// Every query's metrics (reads and writes), concatenated client by
+  /// client in each client's submission order — a deterministic order, so
+  /// two runs of one configuration align entry for entry.
   std::vector<QueryMetrics> per_query;
 };
 
@@ -107,9 +155,20 @@ class WorkloadDriver {
   WorkloadReport Run(const WorkloadOptions& options);
 
  private:
+  /// Mutable per-writer-client generation state (client 0 only).
+  struct WriteGenState {
+    int64_t next_c1 = 0;     ///< Unique primary-key counter for inserts.
+    PageId target_pages = 0; ///< Update/delete Tids draw pages below this.
+    uint32_t slot_range = 0; ///< ... and slots below this (misses skip).
+  };
+
   QuerySpec SpecFor(const StreamPhase& phase, double selectivity,
                     const TableStats* phase_stats, const CostModel* model,
                     const WorkloadOptions& options) const;
+
+  /// One write query's op batch, drawn deterministically from `rng`.
+  std::vector<WriteOp> GenWriteOps(const StreamPhase& phase, Rng* rng,
+                                   WriteGenState* state) const;
 
   Engine* engine_;
   const MicroBenchDb* db_;

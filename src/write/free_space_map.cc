@@ -1,0 +1,23 @@
+#include "write/free_space_map.h"
+
+#include "common/status.h"
+
+namespace smoothscan {
+
+void FreeSpaceMap::SetPage(PageId page, uint32_t usable) {
+  SMOOTHSCAN_CHECK(page <= usable_.size());
+  if (page == usable_.size()) {
+    usable_.push_back(usable);
+  } else {
+    usable_[page] = usable;
+  }
+}
+
+PageId FreeSpaceMap::FindPageWithSpace(uint32_t need) const {
+  for (size_t p = 0; p < usable_.size(); ++p) {
+    if (usable_[p] >= need) return static_cast<PageId>(p);
+  }
+  return kInvalidPageId;
+}
+
+}  // namespace smoothscan

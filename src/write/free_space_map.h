@@ -1,0 +1,50 @@
+// FreeSpaceMap: per-page usable-byte tracking for a heap table, the structure
+// an insert consults to re-use holes left by deletes instead of growing the
+// file (PostgreSQL's FSM, reduced to the simulator's needs). "Usable" is the
+// page's contiguous free space plus compactable fragmentation — exactly
+// Page::usable_space() — so a hit guarantees Page::Insert succeeds, possibly
+// via an automatic compaction.
+//
+// The map is a maintenance structure kept in memory by the table's
+// TableWriter: consulting it is free of charge, like the optimizer's
+// statistics, while the page accesses the chosen placement causes are
+// I/O-accounted as usual. Placement is deterministic first-fit in page order,
+// so the physical layout a write stream produces is a pure function of the
+// op sequence — the property the write-path differential tests pin.
+
+#ifndef SMOOTHSCAN_WRITE_FREE_SPACE_MAP_H_
+#define SMOOTHSCAN_WRITE_FREE_SPACE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace smoothscan {
+
+class FreeSpaceMap {
+ public:
+  FreeSpaceMap() = default;
+
+  /// Forgets all pages (followed by SetPage calls to rebuild).
+  void Reset() { usable_.clear(); }
+
+  /// Records `usable` bytes for `page`, which must be < num_pages() + 1
+  /// (appending the next page id grows the map).
+  void SetPage(PageId page, uint32_t usable);
+
+  /// First page (lowest id) with at least `need` usable bytes, or
+  /// kInvalidPageId. O(num_pages) worst case — tables here are a few
+  /// thousand pages and the scan is branch-predictable.
+  PageId FindPageWithSpace(uint32_t need) const;
+
+  uint32_t usable(PageId page) const { return usable_[page]; }
+  size_t num_pages() const { return usable_.size(); }
+
+ private:
+  std::vector<uint32_t> usable_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_WRITE_FREE_SPACE_MAP_H_

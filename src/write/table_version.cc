@@ -1,0 +1,246 @@
+#include "write/table_version.h"
+
+namespace smoothscan {
+
+void TableVersionRegistry::ReadLease::Release() {
+  if (registry_ != nullptr) {
+    registry_->ReleaseRead(file_);
+    registry_ = nullptr;
+  }
+}
+
+void TableVersionRegistry::WriteTicket::Release() {
+  if (registry_ != nullptr) {
+    registry_->ReleaseWrite(file_);
+    registry_ = nullptr;
+  }
+}
+
+TableVersionRegistry::TableState& TableVersionRegistry::GetState(FileId file) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  std::unique_ptr<TableState>& s = tables_[file];
+  if (s == nullptr) s = std::make_unique<TableState>();
+  return *s;
+}
+
+const TableVersionRegistry::TableState* TableVersionRegistry::FindState(
+    FileId file) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = tables_.find(file);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+TableVersionRegistry::ReadLease TableVersionRegistry::AcquireRead(
+    FileId file) {
+  TableState& s = GetState(file);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.readers == 0 && !s.writer_active && s.open) {
+      PublishLocked(file, &s);
+    }
+    ++s.readers;
+  }
+  return ReadLease(this, file);
+}
+
+void TableVersionRegistry::ReleaseRead(FileId file) {
+  TableState& s = GetState(file);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    SMOOTHSCAN_CHECK(s.readers > 0);
+    --s.readers;
+    if (s.readers == 0 && !s.writer_active && s.open) {
+      PublishLocked(file, &s);
+    }
+  }
+  s.cv.notify_all();
+}
+
+TableVersionRegistry::WriteTicket TableVersionRegistry::BeginWrite(
+    FileId file, HeapFile* heap) {
+  SMOOTHSCAN_CHECK(heap != nullptr && heap->file_id() == file);
+  TableState& s = GetState(file);
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv.wait(lock, [&] { return !s.writer_active; });
+  s.writer_active = true;
+  if (!s.open) {
+    s.open = true;
+    s.heap = heap;
+    s.base_pages =
+        static_cast<PageId>(engine_->storage().NumPages(file));
+  } else {
+    SMOOTHSCAN_CHECK(s.heap == heap);
+  }
+  return WriteTicket(this, file);
+}
+
+void TableVersionRegistry::ReleaseWrite(FileId file) {
+  TableState& s = GetState(file);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    SMOOTHSCAN_CHECK(s.writer_active);
+    s.writer_active = false;
+    if (s.readers == 0 && s.open) {
+      PublishLocked(file, &s);
+    }
+  }
+  s.cv.notify_all();
+}
+
+Page* TableVersionRegistry::PageForWrite(FileId file, PageId pid) {
+  TableState& s = GetState(file);
+  std::lock_guard<std::mutex> lock(s.mu);
+  SMOOTHSCAN_CHECK(s.writer_active && s.open);
+  if (pid >= s.base_pages) {
+    const size_t idx = pid - s.base_pages;
+    SMOOTHSCAN_CHECK(idx < s.appends.size());
+    return s.appends[idx].get();
+  }
+  std::unique_ptr<Page>& copy = s.cow[pid];
+  if (copy == nullptr) {
+    copy = std::make_unique<Page>(engine_->storage().page_size());
+    copy->CopyFrom(engine_->storage().GetPage(file, pid));
+  }
+  return copy.get();
+}
+
+const Page* TableVersionRegistry::ResolveOverlay(FileId file,
+                                                 PageId pid) const {
+  const TableState* s = FindState(file);
+  if (s == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (!s->open) return nullptr;
+  if (pid >= s->base_pages) {
+    const size_t idx = pid - s->base_pages;
+    SMOOTHSCAN_CHECK(idx < s->appends.size());
+    return s->appends[idx].get();
+  }
+  auto it = s->cow.find(pid);
+  return it == s->cow.end() ? nullptr : it->second.get();
+}
+
+PageId TableVersionRegistry::AppendPage(FileId file) {
+  TableState& s = GetState(file);
+  std::lock_guard<std::mutex> lock(s.mu);
+  SMOOTHSCAN_CHECK(s.writer_active && s.open);
+  s.appends.push_back(
+      std::make_unique<Page>(engine_->storage().page_size()));
+  return s.base_pages + static_cast<PageId>(s.appends.size() - 1);
+}
+
+PageId TableVersionRegistry::NumPagesInEra(FileId file) const {
+  const TableState* s = FindState(file);
+  if (s != nullptr) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->open) {
+      return s->base_pages + static_cast<PageId>(s->appends.size());
+    }
+  }
+  return static_cast<PageId>(engine_->storage().NumPages(file));
+}
+
+void TableVersionRegistry::QueueIndexInsert(FileId file, BPlusTree* tree,
+                                            int64_t key, Tid tid) {
+  TableState& s = GetState(file);
+  std::lock_guard<std::mutex> lock(s.mu);
+  SMOOTHSCAN_CHECK(s.writer_active && s.open);
+  s.index_ops.push_back(IndexOp{tree, /*insert=*/true, key, tid});
+}
+
+void TableVersionRegistry::QueueIndexRemove(FileId file, BPlusTree* tree,
+                                            int64_t key, Tid tid) {
+  TableState& s = GetState(file);
+  std::lock_guard<std::mutex> lock(s.mu);
+  SMOOTHSCAN_CHECK(s.writer_active && s.open);
+  s.index_ops.push_back(IndexOp{tree, /*insert=*/false, key, tid});
+}
+
+void TableVersionRegistry::AddTupleDelta(FileId file, int64_t delta) {
+  TableState& s = GetState(file);
+  std::lock_guard<std::mutex> lock(s.mu);
+  SMOOTHSCAN_CHECK(s.writer_active && s.open);
+  s.tuple_delta += delta;
+}
+
+void TableVersionRegistry::PublishLocked(FileId file, TableState* s) {
+  SMOOTHSCAN_CHECK(s->open && s->readers == 0 && !s->writer_active);
+  StorageManager& storage = engine_->storage();
+  BufferPool& pool = engine_->pool();
+
+  // Fold overlay copies into their base pages *in place*: every Page pointer
+  // (and pinned PageGuard) issued for the table stays valid, only content
+  // changes — and no reader can be looking, by the lease invariant. Each
+  // published page is marked dirty in the engine pool so write I/O is
+  // charged at the next (pin-aware) flush.
+  for (const auto& [pid, copy] : s->cow) {
+    storage.GetPageForWrite(file, pid)->CopyFrom(*copy);
+    pool.MarkDirty(file, pid);
+  }
+  for (size_t i = 0; i < s->appends.size(); ++i) {
+    const PageId pid = storage.AppendPage(file);
+    SMOOTHSCAN_CHECK(pid == s->base_pages + i);
+    storage.GetPageForWrite(file, pid)->CopyFrom(*s->appends[i]);
+    pool.MarkDirty(file, pid);
+  }
+  // Index maintenance applies in op order; a remove queued for an entry
+  // inserted earlier in the same era therefore always finds it.
+  for (const IndexOp& op : s->index_ops) {
+    if (op.insert) {
+      op.tree->Insert(op.key, op.tid);
+    } else {
+      SMOOTHSCAN_CHECK(op.tree->Remove(op.key, op.tid));
+    }
+  }
+  s->heap->AddTuples(s->tuple_delta);
+
+  ++s->published_epoch;
+  s->open = false;
+  s->cow.clear();
+  s->appends.clear();
+  s->index_ops.clear();
+  s->tuple_delta = 0;
+
+  // Still under the table latch: no reader can slip in between the fold and
+  // the hook, so any shared-scan group the hook retires is provably parked
+  // and no consumer can attach to a stale decomposition first. (Lock order
+  // table latch → coordinator latch; the coordinator never calls back into
+  // the registry.)
+  RunPublishHook(file);
+}
+
+void TableVersionRegistry::RunPublishHook(FileId file) {
+  std::function<void(FileId)> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = publish_hook_;
+  }
+  if (hook) hook(file);
+}
+
+void TableVersionRegistry::SetPublishHook(std::function<void(FileId)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  publish_hook_ = std::move(hook);
+}
+
+uint64_t TableVersionRegistry::published_epoch(FileId file) const {
+  const TableState* s = FindState(file);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->published_epoch;
+}
+
+bool TableVersionRegistry::era_open(FileId file) const {
+  const TableState* s = FindState(file);
+  if (s == nullptr) return false;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->open;
+}
+
+uint32_t TableVersionRegistry::readers(FileId file) const {
+  const TableState* s = FindState(file);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->readers;
+}
+
+}  // namespace smoothscan

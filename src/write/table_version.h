@@ -1,0 +1,220 @@
+// TableVersionRegistry: the concurrency story of the write path — table-level
+// intent latches with page-level copy-on-write, so scans and writers coexist
+// without scans ever observing a half-applied mutation.
+//
+// The model is snapshot isolation with a single pending era per table:
+//
+//   * Readers take a ReadLease (intent-shared) for the lifetime of their
+//     scan. A leased reader only ever touches the table's *base* pages — the
+//     published snapshot — so an in-flight Full/Smooth/Switch/Sort/Index or
+//     shared scan sees a frozen, consistent table and charges exactly what a
+//     solo run against that snapshot charges (bit-identical simulated cost).
+//   * Writers take a WriteTicket (intent-exclusive: one writer batch per
+//     table at a time, concurrent with any number of readers). Mutations
+//     never touch base pages: the first write to an existing page copies it
+//     into the era's overlay (copy-on-write) and all further writes hit the
+//     copy; inserts that grow the table go to era-buffered append pages, so
+//     NumPages stays frozen for in-flight scans. Index maintenance is queued
+//     per era, not applied — B+-tree structure mutates only at publish, which
+//     is what lets readers traverse the tree latch-free.
+//   * Publish happens at quiescence: when the last lease or ticket drops
+//     with an era pending — or a new lease arrives while the table is idle —
+//     the era is folded into the base *in place* (Page::CopyFrom keeps every
+//     Page pointer and pinned PageGuard valid), appended pages materialize,
+//     queued index ops apply in order, the heap's tuple count adjusts, and
+//     every published page is marked dirty in the engine's buffer pool for
+//     pin-aware write-back accounting. An invalidate hook (wired by the
+//     QueryEngine to the ScanSharingCoordinator) then retires parked shared
+//     scans whose chunk decomposition the publish staled.
+//
+// Restart semantics are recovery-free by construction: the simulated
+// substrate holds all state in memory, and a "restart" (Engine::ColdRestart)
+// only drops caches — publish is atomic under the table latch, so the base
+// snapshot is always consistent and there is no redo/undo log to replay.
+
+#ifndef SMOOTHSCAN_WRITE_TABLE_VERSION_H_
+#define SMOOTHSCAN_WRITE_TABLE_VERSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bplus_tree.h"
+#include "storage/engine.h"
+#include "storage/heap_file.h"
+
+namespace smoothscan {
+
+class TableVersionRegistry {
+ public:
+  explicit TableVersionRegistry(Engine* engine) : engine_(engine) {}
+
+  TableVersionRegistry(const TableVersionRegistry&) = delete;
+  TableVersionRegistry& operator=(const TableVersionRegistry&) = delete;
+
+  /// Intent-shared table latch held for the lifetime of a scan. Move-only;
+  /// releases (and possibly publishes) on destruction.
+  class ReadLease {
+   public:
+    ReadLease() = default;
+    ReadLease(const ReadLease&) = delete;
+    ReadLease& operator=(const ReadLease&) = delete;
+    ReadLease(ReadLease&& other) noexcept { Swap(&other); }
+    ReadLease& operator=(ReadLease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        Swap(&other);
+      }
+      return *this;
+    }
+    ~ReadLease() { Release(); }
+
+    /// Drops the lease early (idempotent). The last reader out publishes any
+    /// pending era.
+    void Release();
+    bool held() const { return registry_ != nullptr; }
+
+   private:
+    friend class TableVersionRegistry;
+    ReadLease(TableVersionRegistry* registry, FileId file)
+        : registry_(registry), file_(file) {}
+    void Swap(ReadLease* other) {
+      std::swap(registry_, other->registry_);
+      std::swap(file_, other->file_);
+    }
+    TableVersionRegistry* registry_ = nullptr;
+    FileId file_ = 0;
+  };
+
+  /// Intent-exclusive writer admission: one op batch per table at a time,
+  /// concurrent with readers. Move-only; releases (and possibly publishes)
+  /// on destruction.
+  class WriteTicket {
+   public:
+    WriteTicket() = default;
+    WriteTicket(const WriteTicket&) = delete;
+    WriteTicket& operator=(const WriteTicket&) = delete;
+    WriteTicket(WriteTicket&& other) noexcept { Swap(&other); }
+    WriteTicket& operator=(WriteTicket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        Swap(&other);
+      }
+      return *this;
+    }
+    ~WriteTicket() { Release(); }
+
+    void Release();
+    bool held() const { return registry_ != nullptr; }
+
+   private:
+    friend class TableVersionRegistry;
+    WriteTicket(TableVersionRegistry* registry, FileId file)
+        : registry_(registry), file_(file) {}
+    void Swap(WriteTicket* other) {
+      std::swap(registry_, other->registry_);
+      std::swap(file_, other->file_);
+    }
+    TableVersionRegistry* registry_ = nullptr;
+    FileId file_ = 0;
+  };
+
+  /// Registers a reader. If the table is quiescent with a pending era, the
+  /// era publishes first, so a fresh reader always sees every mutation that
+  /// completed before it arrived (read-your-writes at quiescence).
+  ReadLease AcquireRead(FileId file);
+
+  /// Blocks until the table's writer slot is free and opens (or joins) the
+  /// pending era. `heap` is remembered for the publish-time tuple-count
+  /// adjustment and must be the table `file` belongs to.
+  WriteTicket BeginWrite(FileId file, HeapFile* heap);
+
+  // --- Era-view accessors. Caller must hold the table's WriteTicket. ---
+
+  /// Writable era page for `pid`: the copy-on-write overlay of a base page
+  /// (copied on first touch) or an era-append page.
+  Page* PageForWrite(FileId file, PageId pid);
+
+  /// The era's read view of `pid` — overlay/append page when one exists,
+  /// null when the base page is current (writer-reads-own-writes).
+  const Page* ResolveOverlay(FileId file, PageId pid) const;
+
+  /// Appends a fresh era-buffered page; it materializes in the
+  /// StorageManager only at publish. Returns its (future) page id.
+  PageId AppendPage(FileId file);
+
+  /// Base pages + era appends: the page count the *writer* sees.
+  PageId NumPagesInEra(FileId file) const;
+
+  /// Queues index maintenance to apply, in call order, at publish.
+  void QueueIndexInsert(FileId file, BPlusTree* tree, int64_t key, Tid tid);
+  void QueueIndexRemove(FileId file, BPlusTree* tree, int64_t key, Tid tid);
+
+  /// Accumulates the era's net tuple-count change.
+  void AddTupleDelta(FileId file, int64_t delta);
+
+  // --- Observability / wiring. ---
+
+  /// Publishes completed so far (a fresh table is at epoch 0).
+  uint64_t published_epoch(FileId file) const;
+  /// True while unpublished mutations are pending.
+  bool era_open(FileId file) const;
+  /// Readers currently holding leases.
+  uint32_t readers(FileId file) const;
+
+  /// Called after each publish with the published table's id — the
+  /// QueryEngine wires this to shared-scan invalidation. Runs *under the
+  /// table latch*, so no reader can attach to stale shared state between the
+  /// fold and the hook; the hook must not call back into the registry.
+  void SetPublishHook(std::function<void(FileId)> hook);
+
+  Engine* engine() const { return engine_; }
+
+ private:
+  struct IndexOp {
+    BPlusTree* tree;
+    bool insert;
+    int64_t key;
+    Tid tid;
+  };
+  struct TableState {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    uint32_t readers = 0;
+    bool writer_active = false;
+    uint64_t published_epoch = 0;
+    // Pending era (valid while `open`).
+    bool open = false;
+    HeapFile* heap = nullptr;
+    PageId base_pages = 0;
+    std::unordered_map<PageId, std::unique_ptr<Page>> cow;
+    std::vector<std::unique_ptr<Page>> appends;
+    std::vector<IndexOp> index_ops;
+    int64_t tuple_delta = 0;
+  };
+
+  TableState& GetState(FileId file);
+  const TableState* FindState(FileId file) const;
+
+  void ReleaseRead(FileId file);
+  void ReleaseWrite(FileId file);
+  /// Folds the era into the base snapshot. Requires s->mu held, zero
+  /// readers, no active writer and an open era.
+  void PublishLocked(FileId file, TableState* s);
+  void RunPublishHook(FileId file);
+
+  Engine* const engine_;
+
+  mutable std::mutex map_mu_;  ///< Guards tables_ (not per-table state).
+  std::unordered_map<FileId, std::unique_ptr<TableState>> tables_;
+  std::mutex hook_mu_;
+  std::function<void(FileId)> publish_hook_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_WRITE_TABLE_VERSION_H_
