@@ -1,0 +1,170 @@
+// Compressed read tier: the run-encoded sibling extent vs the heap it
+// shadows, swept over predicate selectivity on a clustered key. The table is
+// the compressed tier's home turf and the shape real analytic tables take: a
+// sequential row id (FOR food), a clustered key ascending in runs (RLE
+// food) and low-cardinality categorical columns (narrow FOR) — the extent
+// lands several-fold smaller than the heap, and the per-block key zones
+// confine a selective range predicate to a contiguous sliver of blocks.
+//
+// Series: the heap FullScan yardstick, the serial CompressedScan, its
+// morsel-parallel decomposition at DOP 4 (simulated cost is DOP-invariant by
+// construction — tests/compressed_tier_test.cc pins it bit-identical) and
+// the index-only variant that answers key-only probes without expanding
+// payload columns.
+//
+// Emits BENCH_compressed.json: one row per (series, selectivity) with the
+// simulated cost/fetch counters, wall milliseconds, and extras for the
+// extent's page ratio plus each row's fetch and wall ratios vs the full
+// scan. The bench *asserts* the acceptance floor (exit 1): at every
+// selectivity <= 5%, the compressed path must fetch <= half the full scan's
+// pages and finish in <= 75% of its wall time.
+
+#include <cstdio>
+#include <memory>
+
+#include "access/full_scan.h"
+#include "access/parallel_scan.h"
+#include "bench_util.h"
+#include "compress/compressed_scan.h"
+#include "storage/engine.h"
+#include "storage/heap_file.h"
+
+using namespace smoothscan;
+using bench::RunMetrics;
+
+namespace {
+
+constexpr uint64_t kTuples = 200000;
+constexpr int64_t kRun = 100;  // c1 ascends in 100-tuple runs.
+constexpr int64_t kKeyDomain = static_cast<int64_t>(kTuples) / kRun;
+constexpr double kSelectivities[] = {0.001, 0.01, 0.05, 0.2, 0.5, 1.0};
+constexpr double kLowSelectivityBar = 0.05;
+
+/// Range predicate on the clustered key covering `sel` of the key domain,
+/// anchored mid-domain so zone skipping has blocks on both sides.
+ScanPredicate KeyRange(double sel) {
+  ScanPredicate pred;
+  pred.column = 1;
+  const int64_t width = sel >= 1.0
+                            ? kKeyDomain
+                            : static_cast<int64_t>(sel * kKeyDomain) + 1;
+  pred.lo = sel >= 1.0 ? 0 : (kKeyDomain - width) * 3 / 10;
+  pred.hi = pred.lo + width;
+  return pred;
+}
+
+void Record(const char* series, double sel, const RunMetrics& m,
+            const RunMetrics& full, double page_ratio) {
+  const double fetch_reduction =
+      m.pages_read == 0 ? 0.0
+                        : static_cast<double>(full.pages_read) /
+                              static_cast<double>(m.pages_read);
+  const double wall_vs_full =
+      full.wall_ms == 0.0 ? 0.0 : m.wall_ms / full.wall_ms;
+  // PrintSweepRow would auto-record a second (extra-less) copy of this row
+  // and trip the gate's duplicate-key check: print by hand, record once.
+  std::printf(
+      "%-12.4f %-28s %14.1f %12.1f %12.1f %10llu %10llu %12llu %9.2f\n",
+      sel * 100.0, series, m.total_time, m.io_time, m.cpu_time,
+      static_cast<unsigned long long>(m.io_requests),
+      static_cast<unsigned long long>(m.random_ios),
+      static_cast<unsigned long long>(m.tuples), m.wall_ms);
+  bench::RecordRowExtra(series, sel * 100.0, m,
+                        {{"page_ratio", page_ratio},
+                         {"fetch_reduction", fetch_reduction},
+                         {"wall_vs_full", wall_vs_full}});
+}
+
+}  // namespace
+
+int main() {
+  bench::OpenJson("compressed");
+  EngineOptions options;
+  options.device = DeviceProfile::Hdd();
+  options.buffer_pool_pages = 2048;
+  Engine engine(options);
+
+  HeapFile heap(&engine, "analytics", MakeIntSchema(6));
+  Tuple tuple(6);
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    const int64_t v = static_cast<int64_t>(i);
+    tuple[0] = Value::Int64(v);         // Sequential row id: FOR, width 2.
+    tuple[1] = Value::Int64(v / kRun);  // Clustered key: RLE runs of 100.
+    tuple[2] = Value::Int64(v % 7);     // Categorical: FOR, width 1.
+    tuple[3] = Value::Int64(v % 97);
+    tuple[4] = Value::Int64(v % 5);
+    tuple[5] = Value::Int64(v % 23);
+    SMOOTHSCAN_CHECK(heap.Append(tuple).ok());
+  }
+  // Load-time enable = the publish fold on a quiescent table: the sibling
+  // extent is built once and registered; QueryEngine keeps it fresh across
+  // publishes in production (tests/compressed_tier_test.cc covers that leg).
+  CompressedExtentMap map(&engine);
+  const CompressedExtentRef extent = map.Enable(&heap, /*key_column=*/1);
+  SMOOTHSCAN_CHECK(extent != nullptr);
+  const double page_ratio = extent->page_ratio();
+
+  std::printf("# compressed read tier — %llu tuples, heap %zu pages, "
+              "extent %llu pages (%.2fx), avg run length %.0f\n\n",
+              static_cast<unsigned long long>(kTuples), heap.num_pages(),
+              static_cast<unsigned long long>(extent->num_pages()),
+              page_ratio, extent->avg_run_length());
+  bench::PrintSweepHeader("compressed scan vs full scan",
+                          "clustered key sweep");
+
+  bool accepted = true;
+  for (const double sel : kSelectivities) {
+    const ScanPredicate pred = KeyRange(sel);
+
+    FullScan full(&heap, pred);
+    const RunMetrics full_m = bench::MeasureScan(&engine, &full);
+    Record("full", sel, full_m, full_m, page_ratio);
+
+    CompressedScan comp(&engine, extent, pred);
+    const RunMetrics comp_m = bench::MeasureScan(&engine, &comp);
+    Record("compressed", sel, comp_m, full_m, page_ratio);
+    SMOOTHSCAN_CHECK(comp_m.tuples == full_m.tuples);
+
+    ParallelScanOptions po;
+    po.dop = 4;
+    std::unique_ptr<ParallelScan> par = MakeParallelCompressedScan(
+        &engine, extent, pred, CompressedScanOptions(), po);
+    RunMetrics par_m = bench::MeasureScan(&engine, par.get());
+    par_m.threads = po.dop;
+    Record("compressed dop4", sel, par_m, full_m, page_ratio);
+    SMOOTHSCAN_CHECK(par_m.tuples == full_m.tuples);
+
+    CompressedScanOptions key_only;
+    key_only.index_only = true;
+    CompressedScan probe(&engine, extent, pred, key_only);
+    const RunMetrics probe_m = bench::MeasureScan(&engine, &probe);
+    Record("index-only", sel, probe_m, full_m, page_ratio);
+    SMOOTHSCAN_CHECK(probe_m.tuples == full_m.tuples);
+
+    // Acceptance floor for the low-selectivity regime: >= 2x fewer simulated
+    // page fetches and >= 25% less wall time than the heap full scan.
+    if (sel <= kLowSelectivityBar) {
+      if (comp_m.pages_read * 2 > full_m.pages_read) {
+        std::fprintf(stderr,
+                     "ACCEPTANCE FAIL sel=%.3f: compressed fetched %llu "
+                     "pages, full %llu (< 2x reduction)\n",
+                     sel, static_cast<unsigned long long>(comp_m.pages_read),
+                     static_cast<unsigned long long>(full_m.pages_read));
+        accepted = false;
+      }
+      if (comp_m.wall_ms > 0.75 * full_m.wall_ms) {
+        std::fprintf(stderr,
+                     "ACCEPTANCE FAIL sel=%.3f: compressed wall %.3fms vs "
+                     "full %.3fms (< 25%% improvement)\n",
+                     sel, comp_m.wall_ms, full_m.wall_ms);
+        accepted = false;
+      }
+    }
+  }
+
+  std::printf("\nacceptance: at sel <= %.0f%%, compressed must fetch <= 1/2 "
+              "the full scan's pages and take <= 3/4 of its wall time: %s\n",
+              kLowSelectivityBar * 100.0, accepted ? "PASS" : "FAIL");
+  bench::CloseJson();
+  return accepted ? 0 : 1;
+}

@@ -1,7 +1,11 @@
 // Cost-model validation (Section V): the analytical model's predictions for
 // Full Scan, Index Scan and Eager Smooth Scan against the simulated
 // execution, across the selectivity range, plus the competitive-ratio
-// summary of Section V-A.
+// summary of Section V-A — and the CPU calibration sweep that fits
+// CalibratedCpuModel's per-path constants (inspect / produce / index-entry /
+// key-check / zone-consult) from measured CpuMeter charges. The constants
+// committed as CalibratedCpuModel's defaults are this sweep's output on the
+// reference configuration; cost_model_test pins estimate-vs-measured drift.
 
 #include <cstdio>
 
@@ -9,11 +13,13 @@
 #include "access/index_scan.h"
 #include "access/smooth_scan.h"
 #include "bench_util.h"
+#include "compress/compressed_scan.h"
 #include "cost/cost_model.h"
 #include "workload/micro_bench.h"
 
 using namespace smoothscan;
 using bench::MeasureScan;
+using bench::RunMetrics;
 
 int main() {
   EngineOptions options;
@@ -68,5 +74,78 @@ int main() {
   std::printf("SLA = 2 full scans (%.0f) -> trigger cardinality %llu\n", sla,
               static_cast<unsigned long long>(
                   model.SlaTriggerCardinality(sla)));
+
+  // ---- CPU calibration sweep ----
+  // Solves each CalibratedCpuModel constant from measured CpuMeter time:
+  // two full-scan selectivities isolate produce (slope over cardinality)
+  // then inspect; the index scan's fused per-result charge minus those
+  // yields index_entry; a full-domain CompressedCountRange touches zone
+  // metadata alone (zone_consult); and the serial compressed scan's residual
+  // CPU over its inspected-run count yields key_check.
+  CompressedExtentMap cmap(&engine);
+  const CompressedExtentRef extent =
+      cmap.Enable(db.mutable_heap(), MicroBenchDb::kIndexedColumn);
+
+  const double n = static_cast<double>(db.heap().num_tuples());
+  struct Point {
+    double card;
+    double cpu;
+    double inspected;
+  };
+  const auto full_point = [&](double sel) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    FullScan full(&db.heap(), pred);
+    const RunMetrics m = MeasureScan(&engine, &full);
+    return Point{static_cast<double>(m.tuples), m.cpu_time, n};
+  };
+  const Point f_lo = full_point(0.1);
+  const Point f_hi = full_point(0.9);
+  const double produce = (f_hi.cpu - f_lo.cpu) / (f_hi.card - f_lo.card);
+  const double inspect = (f_lo.cpu - produce * f_lo.card) / n;
+
+  const ScanPredicate index_pred = db.PredicateForSelectivity(0.01);
+  IndexScan index_scan(&db.index(), index_pred);
+  const RunMetrics index_m = MeasureScan(&engine, &index_scan);
+  const double index_entry = index_m.cpu_time /
+                                 static_cast<double>(index_m.tuples) -
+                             inspect - produce;
+
+  const auto count_cpu = [&](int64_t lo, int64_t hi) {
+    const RunMetrics m = bench::MeasureCold(&engine, [&] {
+      return CompressedCountRange(extent, lo, hi, EngineContext(&engine));
+    });
+    return m.cpu_time;
+  };
+  // Full-domain probe: every block's zone interval is inside the range, so
+  // the charge is zone consults alone.
+  const double zone_consult =
+      count_cpu(0, db.value_max() + 1) / static_cast<double>(extent->num_pages());
+
+  const auto comp_point = [&](double sel) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+    CompressedScan scan(&engine, extent, pred);
+    const RunMetrics m = MeasureScan(&engine, &scan);
+    return Point{static_cast<double>(m.tuples), m.cpu_time,
+                 static_cast<double>(scan.stats().tuples_inspected)};
+  };
+  const Point c = comp_point(0.5);
+  const double key_check =
+      (c.cpu - zone_consult * static_cast<double>(extent->num_pages()) -
+       produce * c.card) /
+      c.inspected;
+
+  const CalibratedCpuModel committed;
+  std::printf("\n# CPU calibration sweep (fitted vs committed defaults)\n");
+  std::printf("%-14s %14s %14s\n", "constant", "fitted", "committed");
+  std::printf("%-14s %14.6e %14.6e\n", "inspect_tuple", inspect,
+              committed.inspect_tuple);
+  std::printf("%-14s %14.6e %14.6e\n", "produce_tuple", produce,
+              committed.produce_tuple);
+  std::printf("%-14s %14.6e %14.6e\n", "index_entry", index_entry,
+              committed.index_entry);
+  std::printf("%-14s %14.6e %14.6e\n", "key_check", key_check,
+              committed.key_check);
+  std::printf("%-14s %14.6e %14.6e\n", "zone_consult", zone_consult,
+              committed.zone_consult);
   return 0;
 }

@@ -33,6 +33,7 @@ DEFAULT_BENCHES = [
     "shared_scan",
     "concurrent",
     "write_mix",
+    "compressed",
 ]
 
 # Relative sim_time increase tolerated before the gate trips.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "write/table_version.h"
+
 namespace smoothscan {
 
 ResultCache::ResultCache(std::vector<int64_t> separators, Engine* engine,
@@ -13,6 +15,31 @@ ResultCache::ResultCache(std::vector<int64_t> separators, Engine* engine,
     SMOOTHSCAN_CHECK(engine_ != nullptr);
   }
   partitions_.resize(separators_.size() + 1);
+}
+
+ResultCache::~ResultCache() {
+  if (registry_ != nullptr) registry_->RemovePublishHook(hook_token_);
+}
+
+void ResultCache::AttachInvalidation(TableVersionRegistry* registry,
+                                     FileId table) {
+  SMOOTHSCAN_CHECK(registry != nullptr && registry_ == nullptr);
+  registry_ = registry;
+  hook_token_ = registry_->AddPublishHook([this, table](FileId file) {
+    if (file != table) return;
+    Clear();
+    ++invalidations_;
+  });
+}
+
+void ResultCache::Clear() {
+  for (Partition& part : partitions_) {
+    part.tuples.clear();
+    part.spilled = false;
+  }
+  first_live_partition_ = 0;
+  size_ = 0;
+  resident_size_ = 0;
 }
 
 size_t ResultCache::PartitionOf(int64_t key) const {

@@ -1,0 +1,338 @@
+#include "compress/compressed_page.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+namespace {
+
+// Little-endian put/load helpers, byte-wise for endian safety (the hot loops
+// below go through LoadU64LE, which is a single mov on little-endian hosts).
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t LoadU16LE(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t LoadU32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Width-dispatched unsigned load of a FOR offset.
+uint64_t LoadOffset(const uint8_t* p, uint32_t width) {
+  switch (width) {
+    case 1:
+      return p[0];
+    case 2:
+      return LoadU16LE(p);
+    case 4:
+      return LoadU32LE(p);
+    default:
+      return LoadU64LE(p);
+  }
+}
+
+/// Serialized payload size (excluding the tag byte) of each encoding.
+uint32_t RawSize(uint32_t n) { return n * 8; }
+uint32_t RleSize(uint32_t runs) { return 4 + runs * 12; }
+uint32_t ForSize(uint32_t n, uint32_t width) { return 1 + 8 + n * width; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompressedBlockBuilder
+// ---------------------------------------------------------------------------
+
+CompressedBlockBuilder::CompressedBlockBuilder(const Schema* schema,
+                                              int key_column,
+                                              uint32_t capacity_bytes)
+    : schema_(schema),
+      key_column_(key_column),
+      capacity_(capacity_bytes) {
+  SMOOTHSCAN_CHECK(schema_->IsFixedWidth());
+  SMOOTHSCAN_CHECK(key_column_ >= 0 &&
+                   static_cast<size_t>(key_column_) < schema_->num_columns());
+  const ValueType key_type = schema_->column(key_column_).type;
+  SMOOTHSCAN_CHECK(key_type == ValueType::kInt64 ||
+                   key_type == ValueType::kDate);
+  SMOOTHSCAN_CHECK(capacity_ > kCompressedBlockHeaderSize);
+  columns_.resize(schema_->num_columns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].is_int = schema_->column(c).type != ValueType::kDouble;
+  }
+}
+
+uint32_t CompressedBlockBuilder::ForWidth(int64_t min, int64_t max) {
+  // Unsigned range; two's-complement subtraction on the uint64 images is the
+  // correct difference for any int64 min <= max (no signed overflow).
+  const uint64_t range =
+      static_cast<uint64_t>(max) - static_cast<uint64_t>(min);
+  if (range <= 0xFFu) return 1;
+  if (range <= 0xFFFFu) return 2;
+  if (range <= 0xFFFFFFFFu) return 4;
+  return 0;  // FOR would not beat raw.
+}
+
+uint32_t CompressedBlockBuilder::ColumnSize(const ColumnState& c, uint32_t n,
+                                            uint32_t runs, int64_t min,
+                                            int64_t max) {
+  uint32_t best = RawSize(n);
+  best = std::min(best, RleSize(runs));
+  if (c.is_int) {
+    const uint32_t w = ForWidth(min, max);
+    if (w != 0) best = std::min(best, ForSize(n, w));
+  }
+  return 1 + best;  // Tag byte.
+}
+
+bool CompressedBlockBuilder::Add(const uint8_t* data, uint32_t size) {
+  const size_t ncols = columns_.size();
+  SMOOTHSCAN_CHECK(static_cast<uint32_t>(ncols) * 8 <= size);
+  if (tuple_count_ >= kMaxBlockTuples) return false;
+
+  // Prospective size under the cheapest encodings with this tuple added;
+  // commit only when it fits, so no rollback of incremental stats is needed.
+  const uint32_t n = tuple_count_ + 1;
+  uint32_t total = kCompressedBlockHeaderSize;
+  for (size_t c = 0; c < ncols; ++c) {
+    const ColumnState& col = columns_[c];
+    const uint64_t v = LoadU64LE(data + c * 8);
+    const bool new_run = col.values.empty() || col.values.back() != v;
+    const uint32_t runs = col.runs + (new_run ? 1 : 0);
+    int64_t min = static_cast<int64_t>(v);
+    int64_t max = min;
+    if (col.is_int && !col.values.empty()) {
+      min = std::min(min, col.min);
+      max = std::max(max, col.max);
+    }
+    total += ColumnSize(col, n, runs, min, max);
+    if (total > capacity_) return false;
+  }
+
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnState& col = columns_[c];
+    const uint64_t v = LoadU64LE(data + c * 8);
+    if (col.values.empty() || col.values.back() != v) ++col.runs;
+    if (col.is_int) {
+      const int64_t iv = static_cast<int64_t>(v);
+      if (col.values.empty()) {
+        col.min = col.max = iv;
+      } else {
+        col.min = std::min(col.min, iv);
+        col.max = std::max(col.max, iv);
+      }
+    }
+    col.values.push_back(v);
+  }
+  tuple_count_ = n;
+  encoded_size_ = total;
+  return true;
+}
+
+CompressedBlockInfo CompressedBlockBuilder::Finish(std::vector<uint8_t>* out) {
+  SMOOTHSCAN_CHECK(tuple_count_ > 0);
+  const uint32_t n = tuple_count_;
+  const ColumnState& key = columns_[key_column_];
+
+  out->clear();
+  out->reserve(encoded_size_);
+  PutU32(out, kCompressedBlockMagic);
+  PutU32(out, n);
+  PutU16(out, static_cast<uint16_t>(columns_.size()));
+  PutU16(out, static_cast<uint16_t>(key_column_));
+  PutU64(out, static_cast<uint64_t>(key.min));
+  PutU64(out, static_cast<uint64_t>(key.max));
+  PutU32(out, key.runs);
+
+  for (const ColumnState& col : columns_) {
+    const uint32_t raw = RawSize(n);
+    const uint32_t rle = RleSize(col.runs);
+    const uint32_t for_w = col.is_int ? ForWidth(col.min, col.max) : 0;
+    const uint32_t forb = for_w != 0 ? ForSize(n, for_w) : UINT32_MAX;
+    if (rle <= raw && rle <= forb) {
+      PutU8(out, static_cast<uint8_t>(ColumnEncoding::kRle));
+      PutU32(out, col.runs);
+      uint32_t i = 0;
+      while (i < n) {
+        uint32_t j = i + 1;
+        while (j < n && col.values[j] == col.values[i]) ++j;
+        PutU64(out, col.values[i]);
+        PutU32(out, j - i);
+        i = j;
+      }
+    } else if (forb <= raw) {
+      PutU8(out, static_cast<uint8_t>(ColumnEncoding::kFor));
+      PutU8(out, static_cast<uint8_t>(for_w));
+      PutU64(out, static_cast<uint64_t>(col.min));
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t off = col.values[i] - static_cast<uint64_t>(col.min);
+        for (uint32_t b = 0; b < for_w; ++b) {
+          PutU8(out, static_cast<uint8_t>(off >> (8 * b)));
+        }
+      }
+    } else {
+      PutU8(out, static_cast<uint8_t>(ColumnEncoding::kRaw));
+      for (uint32_t i = 0; i < n; ++i) PutU64(out, col.values[i]);
+    }
+  }
+
+  CompressedBlockInfo info;
+  info.tuples = n;
+  info.key_min = key.min;
+  info.key_max = key.max;
+  info.key_runs = key.runs;
+  info.encoded_bytes = static_cast<uint32_t>(out->size());
+  SMOOTHSCAN_CHECK(info.encoded_bytes <= capacity_);
+
+  for (ColumnState& col : columns_) {
+    col.values.clear();
+    col.runs = 0;
+    col.min = col.max = 0;
+  }
+  tuple_count_ = 0;
+  encoded_size_ = 0;
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// CompressedBlockReader
+// ---------------------------------------------------------------------------
+
+bool CompressedBlockReader::Init(const uint8_t* data, uint32_t size) {
+  if (size < kCompressedBlockHeaderSize) return false;
+  if (LoadU32LE(data) != kCompressedBlockMagic) return false;
+  tuple_count_ = LoadU32LE(data + 4);
+  num_columns_ = LoadU16LE(data + 8);
+  key_column_ = LoadU16LE(data + 10);
+  key_min_ = static_cast<int64_t>(LoadU64LE(data + 12));
+  key_max_ = static_cast<int64_t>(LoadU64LE(data + 20));
+  key_runs_ = LoadU32LE(data + 28);
+  if (key_column_ >= num_columns_) return false;
+
+  cols_.assign(num_columns_, ColumnView());
+  const uint8_t* p = data + kCompressedBlockHeaderSize;
+  const uint8_t* end = data + size;
+  for (uint16_t c = 0; c < num_columns_; ++c) {
+    if (p >= end) return false;
+    ColumnView& col = cols_[c];
+    col.tag = static_cast<ColumnEncoding>(*p++);
+    switch (col.tag) {
+      case ColumnEncoding::kRaw:
+        col.payload = p;
+        col.width = 8;
+        p += static_cast<size_t>(tuple_count_) * 8;
+        break;
+      case ColumnEncoding::kRle:
+        if (p + 4 > end) return false;
+        col.run_count = LoadU32LE(p);
+        col.payload = p + 4;
+        p += 4 + static_cast<size_t>(col.run_count) * 12;
+        break;
+      case ColumnEncoding::kFor:
+        if (p + 9 > end) return false;
+        col.width = *p;
+        if (col.width != 1 && col.width != 2 && col.width != 4) return false;
+        col.base = LoadU64LE(p + 1);
+        col.payload = p + 9;
+        p += 9 + static_cast<size_t>(tuple_count_) * col.width;
+        break;
+      default:
+        return false;
+    }
+    if (p > end) return false;
+  }
+  return true;
+}
+
+uint64_t CompressedBlockReader::MatchKeyRanges(
+    int64_t lo, int64_t hi,
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  const ColumnView& key = cols_[key_column_];
+  auto append = [out](uint32_t begin, uint32_t end) {
+    if (!out->empty() && out->back().second == begin) {
+      out->back().second = end;  // Merge adjacent qualifying ranges.
+    } else {
+      out->emplace_back(begin, end);
+    }
+  };
+  if (key.tag == ColumnEncoding::kRle) {
+    // One comparison decides a whole run — the run-skip hot path.
+    uint32_t row = 0;
+    const uint8_t* p = key.payload;
+    for (uint32_t r = 0; r < key.run_count; ++r, p += 12) {
+      const int64_t v = static_cast<int64_t>(LoadU64LE(p));
+      const uint32_t len = LoadU32LE(p + 8);
+      if (v >= lo && v < hi) append(row, row + len);
+      row += len;
+    }
+    return key.run_count;
+  }
+  // Dense encodings: one check per tuple, on packed (kFor) or raw bytes.
+  const uint32_t n = tuple_count_;
+  const uint32_t w = key.width;
+  const uint8_t* p = key.payload;
+  uint32_t open = UINT32_MAX;
+  for (uint32_t i = 0; i < n; ++i) {
+    const int64_t v =
+        key.tag == ColumnEncoding::kFor
+            ? static_cast<int64_t>(key.base + LoadOffset(p + i * w, w))
+            : static_cast<int64_t>(LoadU64LE(p + i * 8));
+    const bool match = v >= lo && v < hi;
+    if (match && open == UINT32_MAX) open = i;
+    if (!match && open != UINT32_MAX) {
+      append(open, i);
+      open = UINT32_MAX;
+    }
+  }
+  if (open != UINT32_MAX) append(open, n);
+  return n;
+}
+
+void CompressedBlockReader::ExpandColumn(size_t c,
+                                         std::vector<uint64_t>* out) const {
+  const ColumnView& col = cols_[c];
+  const uint32_t n = tuple_count_;
+  out->resize(n);
+  uint64_t* dst = out->data();
+  switch (col.tag) {
+    case ColumnEncoding::kRaw:
+      for (uint32_t i = 0; i < n; ++i) dst[i] = LoadU64LE(col.payload + i * 8);
+      break;
+    case ColumnEncoding::kRle: {
+      uint32_t row = 0;
+      const uint8_t* p = col.payload;
+      for (uint32_t r = 0; r < col.run_count; ++r, p += 12) {
+        const uint64_t v = LoadU64LE(p);
+        const uint32_t len = LoadU32LE(p + 8);
+        std::fill(dst + row, dst + row + len, v);
+        row += len;
+      }
+      SMOOTHSCAN_CHECK(row == n);
+      break;
+    }
+    case ColumnEncoding::kFor: {
+      const uint32_t w = col.width;
+      for (uint32_t i = 0; i < n; ++i) {
+        dst[i] = col.base + LoadOffset(col.payload + i * w, w);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace smoothscan

@@ -34,6 +34,42 @@ struct CostModelParams {
   }
 };
 
+/// Per-path CPU cost constants in simulated-time units (seq page read =
+/// 1.0), fitted against the executing substrate by the calibration sweep in
+/// bench_cost_model_validation (--calibrate). The committed defaults are the
+/// sweep's output on the reference configuration; cost_model_test pins the
+/// estimate-vs-measured error within bounds so drift between the model and
+/// the substrate is caught in CI. The chooser applies these only when a
+/// caller passes a model (ChooserOptions::cpu) — the paper's I/O-only ranking
+/// stays the default.
+struct CalibratedCpuModel {
+  double inspect_tuple = 5e-4;  ///< Per heap tuple inspected.
+  double produce_tuple = 2e-4;  ///< Per result tuple materialized.
+  double index_entry = 5e-5;    ///< Per index-leaf entry advanced.
+  double key_check = 5e-4;      ///< Per compressed key check (run or value).
+  double zone_consult = 5e-5;   ///< Per compressed zone-map consult.
+
+  /// Full scan: inspect every tuple, produce the qualifiers.
+  double FullScanCpu(uint64_t num_tuples, uint64_t card) const {
+    return inspect_tuple * static_cast<double>(num_tuples) +
+           produce_tuple * static_cast<double>(card);
+  }
+  /// Index scan: advance `card` leaf entries, materialize each result.
+  double IndexScanCpu(uint64_t card) const {
+    return (index_entry + inspect_tuple + produce_tuple) *
+           static_cast<double>(card);
+  }
+  /// Compressed scan: one consult per block, one check per key run (dense
+  /// fallbacks degrade toward one per tuple — callers fold that into
+  /// `key_checks`), one produce per emitted tuple.
+  double CompressedScanCpu(uint64_t zone_consults, uint64_t key_checks,
+                           uint64_t card) const {
+    return zone_consult * static_cast<double>(zone_consults) +
+           key_check * static_cast<double>(key_checks) +
+           produce_tuple * static_cast<double>(card);
+  }
+};
+
 /// Per-mode cardinality split of a Smooth Scan execution (Eq. 12).
 struct SmoothScanCardinalities {
   uint64_t mode0 = 0;  ///< Tuples produced with the plain index (pre-trigger).
@@ -59,6 +95,12 @@ class CostModel {
   // ---- Operator costs ----
   /// Eq. (10): full scan, independent of selectivity.
   double FullScanCost() const;
+  /// Compressed-tier scan: one sequential pass over `compressed_pages`
+  /// sibling pages (Eq. 10's shape, shrunk by the measured compression
+  /// ratio; zone skipping only ever removes pages from this upper bound).
+  double CompressedScanCost(uint64_t compressed_pages) const {
+    return static_cast<double>(compressed_pages) * params_.seq_cost;
+  }
   /// Eq. (11): non-clustered index scan producing `card` tuples.
   double IndexScanCost(uint64_t card) const;
   /// Eq. (15): Mode 1 over `card_m1` tuples (one random access per result

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compress/compressed_scan.h"
 #include "sharing/shared_scan_path.h"
 
 namespace smoothscan {
@@ -12,6 +13,12 @@ namespace {
 /// Aging bound of the share-aware batch pop: after this many bypasses the
 /// front query is admitted next no matter what is sharable behind it.
 constexpr uint32_t kMaxShareBypasses = 16;
+
+/// CPU constants handed to the chooser whenever a compressed extent is on
+/// offer: the compressed path trades key-check CPU for page I/O, so pricing
+/// it against the heap paths on I/O alone would systematically flatter it.
+/// Queries with no compressed candidate keep the paper's I/O-only ranking.
+constexpr CalibratedCpuModel kChooserCpuModel{};
 
 double MsBetween(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
@@ -33,14 +40,29 @@ const char* QueryLaneToString(QueryLane lane) {
 QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
     : engine_(engine), options_(options) {
   SMOOTHSCAN_CHECK(options_.max_admitted >= 1);
-  if (options_.versions != nullptr && options_.sharing != nullptr) {
+  if (options_.versions != nullptr &&
+      (options_.sharing != nullptr || options_.compressed != nullptr)) {
     // Snapshot publish stales any parked shared scan of the table (its chunk
-    // decomposition was sized to the old page count): retire it so the next
-    // arrival forms a fresh group. Captures the coordinator, not `this` —
-    // both must outlive the registry's last publish.
+    // decomposition was sized to the old page count) and any compressed
+    // sibling built from the pre-publish snapshot. Order matters: the
+    // sibling's own shared-scan group must retire (dropping its window pins)
+    // *before* OnPublish evicts and rebuilds the sibling file. Captures the
+    // collaborators, not `this` — they must outlive the registry's last
+    // publish.
     ScanSharingCoordinator* sharing = options_.sharing;
-    options_.versions->SetPublishHook(
-        [sharing](FileId file) { sharing->InvalidateFile(file); });
+    CompressedExtentMap* compressed = options_.compressed;
+    publish_hook_token_ =
+        options_.versions->AddPublishHook([sharing, compressed](FileId file) {
+          if (sharing != nullptr) sharing->InvalidateFile(file);
+          if (compressed != nullptr) {
+            if (sharing != nullptr) {
+              if (CompressedExtentRef extent = compressed->Lookup(file)) {
+                sharing->InvalidateFile(extent->file);
+              }
+            }
+            compressed->OnPublish(file);
+          }
+        });
   }
   executors_.reserve(options_.max_admitted);
   for (uint32_t i = 0; i < options_.max_admitted; ++i) {
@@ -55,10 +77,11 @@ QueryEngine::~QueryEngine() {
   }
   cv_submit_.notify_all();
   for (std::thread& t : executors_) t.join();
-  if (options_.versions != nullptr && options_.sharing != nullptr) {
-    // The hook captured the coordinator; a registry outliving this engine
-    // must not call into a possibly-freed coordinator on its next publish.
-    options_.versions->SetPublishHook(nullptr);
+  if (publish_hook_token_ != 0) {
+    // The hook captured the coordinator and extent map; a registry outliving
+    // this engine must not call into possibly-freed collaborators on its
+    // next publish.
+    options_.versions->RemovePublishHook(publish_hook_token_);
   }
 }
 
@@ -185,12 +208,34 @@ void QueryEngine::ExecutorLoop() {
   }
 }
 
+CompressedExtentRef QueryEngine::CompressedExtentFor(
+    const QuerySpec& spec) const {
+  if (options_.compressed == nullptr || spec.index == nullptr ||
+      spec.need_order) {
+    return nullptr;
+  }
+  CompressedExtentRef extent =
+      options_.compressed->Lookup(spec.index->heap()->file_id());
+  // The extent serves range predicates on its key column only.
+  if (extent == nullptr || extent->key_column != spec.predicate.column) {
+    return nullptr;
+  }
+  return extent;
+}
+
 bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
   if (spec.writer != nullptr || options_.sharing == nullptr ||
       !spec.allow_sharing || spec.need_order) {
     return false;
   }
-  if (!spec.use_chooser) return spec.kind == PathKind::kSharedScan;
+  // A serial compressed plan attaches to the sibling file's cooperative
+  // scan, so it groups onto a running lap exactly like kSharedScan.
+  const bool compressed_shared =
+      spec.dop == 0 && CompressedExtentFor(spec) != nullptr;
+  if (!spec.use_chooser) {
+    return spec.kind == PathKind::kSharedScan ||
+           (spec.kind == PathKind::kCompressedScan && compressed_shared);
+  }
   // Chooser queries: ask the chooser itself (same inputs as Execute will
   // use, so the verdict matches) — a selective query headed for an index
   // path must not jump the batch FIFO for a lap it will never join.
@@ -198,10 +243,20 @@ bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
   copts.need_order = spec.need_order;
   copts.dop = std::max<uint32_t>(1, spec.dop);
   copts.sharing_available = true;
-  return AccessPathChooser::Choose(*spec.stats, *spec.cost_model,
-                                   spec.predicate.lo, spec.predicate.hi,
-                                   copts)
-             .kind == PathKind::kSharedScan;
+  CompressedPathInfo cinfo;
+  if (CompressedExtentRef extent = CompressedExtentFor(spec)) {
+    cinfo.pages = extent->num_pages();
+    cinfo.tuples = extent->num_tuples;
+    cinfo.avg_run_length = extent->avg_run_length();
+    copts.compressed = &cinfo;
+    copts.cpu = &kChooserCpuModel;
+  }
+  const PathKind kind =
+      AccessPathChooser::Choose(*spec.stats, *spec.cost_model,
+                                spec.predicate.lo, spec.predicate.hi, copts)
+          .kind;
+  return kind == PathKind::kSharedScan ||
+         (kind == PathKind::kCompressedScan && compressed_shared);
 }
 
 QueryResult QueryEngine::ExecuteWrite(QuerySpec spec) {
@@ -251,6 +306,11 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   // the choice (and the estimate handed to the path) is faithfully wrong —
   // the paper's mis-estimation scenario, replayed at stream scale.
   const bool sharing_on = options_.sharing != nullptr && spec.allow_sharing;
+  // Looked up after the lease: the snapshot this query reads is the one the
+  // extent (if current) was folded from, so compressed and heap answers
+  // agree. A publish between planning and here is impossible — publishes
+  // need quiescence and we hold a lease.
+  const CompressedExtentRef extent = CompressedExtentFor(spec);
   PathKind kind = spec.kind;
   uint64_t estimate = spec.estimate;
   if (spec.use_chooser) {
@@ -258,6 +318,14 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     copts.need_order = spec.need_order;
     copts.dop = std::max<uint32_t>(1, spec.dop);
     copts.sharing_available = sharing_on;
+    CompressedPathInfo cinfo;
+    if (extent != nullptr) {
+      cinfo.pages = extent->num_pages();
+      cinfo.tuples = extent->num_tuples;
+      cinfo.avg_run_length = extent->avg_run_length();
+      copts.compressed = &cinfo;
+      copts.cpu = &kChooserCpuModel;
+    }
     const PlanChoice choice =
         AccessPathChooser::Choose(*spec.stats, *spec.cost_model,
                                   spec.predicate.lo, spec.predicate.hi, copts);
@@ -267,6 +335,13 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   if (kind == PathKind::kSharedScan && (!sharing_on || spec.need_order)) {
     kind = PathKind::kFullScan;  // The exact solo-equivalent plan.
   }
+  if (kind == PathKind::kCompressedScan && extent == nullptr) {
+    // Graceful staleness: the extent a fixed-kind spec (or an earlier plan)
+    // counted on is gone — invalidated by a publish, never built, or not
+    // keyed on this predicate's column. The heap full scan produces the
+    // identical multiset from the identical snapshot.
+    kind = PathKind::kFullScan;
+  }
   m.kind = kind;
 
   // Per-query accounting stack; page pins mirror into the shared pool.
@@ -274,7 +349,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
                     options_.mirror_pages ? &engine_->pool() : nullptr);
 
   const FileId table = spec.index->heap()->file_id();
-  const bool shared_run = kind == PathKind::kSharedScan;
+  bool shared_run = kind == PathKind::kSharedScan;
   std::unique_ptr<AccessPath> path;
   if (shared_run) {
     path = std::make_unique<SharedScanPath>(
@@ -283,6 +358,33 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     // Visible to the share-aware batch pop while this scan is in flight.
     std::lock_guard<std::mutex> lock(mu_);
     ++running_shared_[table];
+  } else if (kind == PathKind::kCompressedScan) {
+    if (spec.dop >= 1) {
+      ParallelScanOptions po;
+      po.dop = spec.dop;
+      po.scheduler = options_.scheduler;
+      po.account_disk = &qctx.disk();
+      po.account_cpu = &qctx.cpu();
+      po.mirror_pool = options_.mirror_pages ? &engine_->pool() : nullptr;
+      path = MakeParallelCompressedScan(engine_, extent, spec.predicate,
+                                        CompressedScanOptions(), po);
+      m.parallel = path != nullptr;
+    } else if (sharing_on) {
+      // Shared-compressed: join (or start) the cooperative circular scan
+      // over the sibling extent. Registered under the *table* id so the
+      // share-aware batch pop groups same-table arrivals onto the lap.
+      path = std::make_unique<CompressedScan>(options_.sharing, extent,
+                                              spec.predicate);
+      path->SetExecContext(&qctx.ctx());
+      shared_run = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++running_shared_[table];
+    }
+    if (path == nullptr) {
+      path = std::make_unique<CompressedScan>(engine_, extent,
+                                              spec.predicate);
+      path->SetExecContext(&qctx.ctx());
+    }
   } else if (kind == PathKind::kSmoothScan && sharing_on && spec.dop == 0) {
     // Shared-SmoothScan mode: this query feeds (and profits from) the
     // table's common Page ID Cache. Results are solo-identical; charged I/O

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "compress/compressed_extent_map.h"
 #include "plan/access_path_chooser.h"
 #include "storage/exec_context.h"
 #include "write/table_version.h"
@@ -149,6 +150,14 @@ struct QueryEngineOptions {
   /// engine (and, because the publish hook is wired at construction, the
   /// coordinator when both are set).
   TableVersionRegistry* versions = nullptr;
+  /// Compressed read tier (src/compress/): the chooser is offered the
+  /// table's published compressed extent (priced with the calibrated CPU
+  /// model), kCompressedScan plans materialize over it — shared across
+  /// concurrent queries when `sharing` is set, morsel-parallel at dop >= 1 —
+  /// and the registry's publish hook (requires `versions`) invalidates and
+  /// rebuilds the extent so a compressed plan never reads a stale sibling.
+  /// Null disables the tier. Must outlive the engine.
+  CompressedExtentMap* compressed = nullptr;
 };
 
 class QueryEngine {
@@ -207,9 +216,16 @@ class QueryEngine {
   /// — runs the chooser for use_chooser specs, so a selective query that
   /// will pick an index path never jumps the FIFO for nothing).
   bool ShareEligible(const QuerySpec& spec) const;
+  /// The table's published compressed extent, when the tier is enabled and
+  /// serves this spec (key-column predicate, no interesting order). Null
+  /// otherwise — including right after a publish invalidated it, which is
+  /// the graceful-staleness fallback to the heap paths.
+  CompressedExtentRef CompressedExtentFor(const QuerySpec& spec) const;
 
   Engine* engine_;
   QueryEngineOptions options_;
+  /// Registry publish-hook registration (0 = none wired).
+  uint64_t publish_hook_token_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_submit_;  ///< Executors wait for work here.

@@ -19,6 +19,8 @@ const char* PathKindToString(PathKind kind) {
       return "SmoothScan";
     case PathKind::kSharedScan:
       return "SharedScan";
+    case PathKind::kCompressedScan:
+      return "CompressedScan";
   }
   return "?";
 }
@@ -85,21 +87,51 @@ PlanChoice AccessPathChooser::Choose(const TableStats& stats,
       need_order ? sort_scan
                  : (sort_scan - sort_scan_serial) / d + sort_scan_serial;
 
+  // Optional CPU surcharges from the calibrated model: only when a caller
+  // passes one — the default ranking stays the paper's I/O-only comparison.
+  const CalibratedCpuModel* cpu = options.cpu;
+  const double full_cpu =
+      cpu != nullptr ? cpu->FullScanCpu(model.params().num_tuples, card) : 0.0;
+  const double index_cpu = cpu != nullptr ? cpu->IndexScanCpu(card) : 0.0;
+
   // Rank by simulated cost at dop = 1 (the paper's setting) and by the wall
   // estimate when parallelism is available.
-  const struct {
+  struct Candidate {
     PathKind kind;
     double cost;
     double wall;
-  } candidates[] = {
-      {PathKind::kFullScan, full, full_wall},
-      {PathKind::kIndexScan, index, index_wall},
-      {PathKind::kSortScan, sort_scan, sort_scan_wall},
   };
+  Candidate candidates[4] = {
+      {PathKind::kFullScan, full + full_cpu,
+       full_wall + (need_order ? full_cpu : full_cpu / d)},
+      {PathKind::kIndexScan, index + index_cpu,
+       index_wall + (need_order ? index_cpu : index_cpu / d)},
+      {PathKind::kSortScan, sort_scan + index_cpu,
+       sort_scan_wall + (need_order ? index_cpu : index_cpu / d)},
+  };
+  int num_candidates = 3;
+  // The compressed sibling extent, when published: a sequential pass over
+  // pages already shrunk by the measured compression ratio. Heap-order
+  // output only — an order-requiring consumer falls back to the heap paths.
+  if (options.compressed != nullptr && !need_order) {
+    const CompressedPathInfo& info = *options.compressed;
+    const uint64_t key_checks = static_cast<uint64_t>(
+        static_cast<double>(info.tuples) /
+        std::max(1.0, info.avg_run_length));
+    const double compressed_cpu =
+        cpu != nullptr
+            ? cpu->CompressedScanCpu(info.pages, key_checks, card)
+            : 0.0;
+    const double compressed =
+        model.CompressedScanCost(info.pages) + compressed_cpu;
+    candidates[num_candidates++] =
+        {PathKind::kCompressedScan, compressed, compressed / d};
+  }
   choice.kind = candidates[0].kind;
   choice.estimated_cost = candidates[0].cost;
   choice.estimated_wall_cost = candidates[0].wall;
-  for (const auto& c : candidates) {
+  for (int i = 0; i < num_candidates; ++i) {
+    const Candidate& c = candidates[i];
     const double rank = dop > 1 ? c.wall : c.cost;
     const double best = dop > 1 ? choice.estimated_wall_cost
                                 : choice.estimated_cost;
@@ -151,6 +183,12 @@ std::unique_ptr<AccessPath> MakePath(PathKind kind, const BPlusTree* index,
       // sharing/shared_scan_path.h); without one, a plain full scan is the
       // exact solo-equivalent plan.
       return std::make_unique<FullScan>(index->heap(), predicate);
+    case PathKind::kCompressedScan:
+      // The compressed path needs the engine's CompressedExtentMap (see
+      // compress/compressed_scan.h); without one — or once the extent was
+      // invalidated by a publish — the heap full scan produces the identical
+      // multiset from the identical snapshot.
+      return std::make_unique<FullScan>(index->heap(), predicate);
   }
   return nullptr;
 }
@@ -181,6 +219,10 @@ std::unique_ptr<ParallelScan> MakeParallelPath(
     case PathKind::kSharedScan:
       // Sharing is inter-query parallelism already; the consumer itself
       // stays a serial drain of the cooperative scan.
+      return nullptr;
+    case PathKind::kCompressedScan:
+      // Needs the extent ref only the QueryEngine holds; it calls
+      // MakeParallelCompressedScan directly.
       return nullptr;
   }
   return nullptr;

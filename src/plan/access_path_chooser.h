@@ -30,14 +30,31 @@ enum class PathKind {
   /// (src/sharing/). Materialized by the QueryEngine via its
   /// ScanSharingCoordinator — MakePath cannot build it alone.
   kSharedScan,
+  /// Run-encoded scan over the table's compressed sibling extent
+  /// (src/compress/). Materialized by the QueryEngine via its
+  /// CompressedExtentMap — MakePath falls back to FullScan without one (or
+  /// when the extent was invalidated by a publish after planning).
+  kCompressedScan,
 };
 
 /// Number of PathKind values (sizing per-path counters). Derived from the
 /// last enumerator so adding a kind cannot leave counters undersized.
 inline constexpr int kNumPathKinds =
-    static_cast<int>(PathKind::kSharedScan) + 1;
+    static_cast<int>(PathKind::kCompressedScan) + 1;
 
 const char* PathKindToString(PathKind kind);
+
+/// What the chooser needs to know about a table's published compressed
+/// extent (filled from CompressedExtentMap::Lookup by the caller; the plan
+/// layer itself never touches src/compress/).
+struct CompressedPathInfo {
+  /// Compressed sibling pages — the measured compression ratio is
+  /// heap_pages / pages, baked in by construction.
+  uint64_t pages = 0;
+  uint64_t tuples = 0;
+  /// Tuples per key run (run density); 1.0 = incompressible key.
+  double avg_run_length = 1.0;
+};
 
 /// Chooser knobs beyond the predicate itself.
 struct ChooserOptions {
@@ -55,6 +72,14 @@ struct ChooserOptions {
   /// costs at most a solo pass and attaching to an in-flight scan costs a
   /// fraction of one.
   bool sharing_available = false;
+  /// The table's current compressed extent, when one is published (null:
+  /// no compressed tier, or invalidated — the path is simply not offered,
+  /// which is the graceful-staleness fallback). Borrowed for the call.
+  const CompressedPathInfo* compressed = nullptr;
+  /// Calibrated per-path CPU constants. Null (default) ranks on I/O alone,
+  /// exactly as before; non-null adds each candidate's CPU estimate so paths
+  /// that trade CPU for I/O (the compressed tier) are priced fairly.
+  const CalibratedCpuModel* cpu = nullptr;
 };
 
 /// The optimizer's verdict for one selection.

@@ -4,12 +4,13 @@
 
 namespace smoothscan {
 
-SharedScanGroup::SharedScanGroup(Engine* engine, const HeapFile* heap,
-                                 SharedScanOptions options)
+SharedScanGroup::SharedScanGroup(Engine* engine, FileId file,
+                                 PageId num_pages, SharedScanOptions options)
     : engine_(engine),
-      heap_(heap),
+      file_(file),
+      num_pages_(num_pages),
       options_(options),
-      num_chunks_((heap->num_pages() + options.chunk_pages - 1) /
+      num_chunks_((num_pages + options.chunk_pages - 1) /
                   options.chunk_pages) {
   SMOOTHSCAN_CHECK(options_.chunk_pages >= 1);
   SMOOTHSCAN_CHECK(options_.drift_chunks >= 1);
@@ -70,11 +71,10 @@ bool SharedScanGroup::CanProduceLocked() const {
 
 void SharedScanGroup::ProduceOneLocked() {
   const uint64_t seq = head_seq_;
-  const PageId total = static_cast<PageId>(heap_->num_pages());
   const PageId first =
       static_cast<PageId>((seq % num_chunks_) * options_.chunk_pages);
   const uint32_t count =
-      std::min<uint32_t>(options_.chunk_pages, total - first);
+      std::min<uint32_t>(options_.chunk_pages, num_pages_ - first);
 
   auto chunk = std::make_shared<SharedChunk>();
   chunk->seq = seq;
@@ -83,11 +83,10 @@ void SharedScanGroup::ProduceOneLocked() {
   // The one communal fetch: charged to the engine's shared stream, pinned so
   // every attached consumer can read the pages latch-free.
   BufferPool& pool = engine_->pool();
-  const FileId file = heap_->file_id();
-  pool.FetchExtent(file, first, count);
+  pool.FetchExtent(file_, first, count);
   chunk->guards.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    chunk->guards.push_back(pool.Pin(file, first + i));
+    chunk->guards.push_back(pool.Pin(file_, first + i));
   }
   for (const ConsumerState& c : consumers_) {
     if (c.active && c.end_seq > seq) ++chunk->readers;
@@ -226,12 +225,19 @@ ScanSharingCoordinator::~ScanSharingCoordinator() {
 }
 
 SharedScanConsumer ScanSharingCoordinator::Attach(const HeapFile* heap) {
+  return AttachExtent(heap->file_id(),
+                      static_cast<PageId>(heap->num_pages()));
+}
+
+SharedScanConsumer ScanSharingCoordinator::AttachExtent(FileId file,
+                                                        PageId num_pages) {
   std::shared_ptr<SharedScanGroup> group;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<SharedScanGroup>& slot = groups_[heap->file_id()];
+    std::shared_ptr<SharedScanGroup>& slot = groups_[file];
     if (slot == nullptr) {
-      slot = std::make_shared<SharedScanGroup>(engine_, heap, options_);
+      slot = std::make_shared<SharedScanGroup>(engine_, file, num_pages,
+                                               options_);
     }
     group = slot;
   }

@@ -145,7 +145,10 @@ class SharedScanConsumer {
 /// interact through SharedScanConsumer).
 class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
  public:
-  SharedScanGroup(Engine* engine, const HeapFile* heap,
+  /// A group is defined by a page range, not a table: `file` may be a heap
+  /// file or a compressed sibling extent — production only ever needs
+  /// (file, num_pages), and every page access goes through the shared pool.
+  SharedScanGroup(Engine* engine, FileId file, PageId num_pages,
                   SharedScanOptions options);
 
   SharedScanGroup(const SharedScanGroup&) = delete;
@@ -183,7 +186,8 @@ class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
   void PopFreeChunksLocked();
 
   Engine* const engine_;
-  const HeapFile* const heap_;
+  const FileId file_;
+  const PageId num_pages_;
   const SharedScanOptions options_;
   const uint64_t num_chunks_;
 
@@ -229,6 +233,14 @@ class ScanSharingCoordinator {
   /// Attaches a consumer to `heap`'s circular scan, forming the group on
   /// first use (or resuming a parked one at its current chunk).
   SharedScanConsumer Attach(const HeapFile* heap);
+
+  /// Same, over an arbitrary page range — the compressed tier attaches
+  /// consumers to a table's compressed sibling extent (`file` = the sibling's
+  /// FileId). The group is keyed by `file`, so heap and compressed groups of
+  /// one table coexist and are invalidated independently. `num_pages` must
+  /// match the file's page count and stays fixed for the group's lifetime
+  /// (extents are immutable until invalidated).
+  SharedScanConsumer AttachExtent(FileId file, PageId num_pages);
 
   /// The table's shared-SmoothScan group: attached Smooth Scans feed (and
   /// consult) one common concurrent Page ID Cache over the engine's shared

@@ -82,6 +82,36 @@ bool BufferPool::Contains(FileId file, PageId page) const {
   return shard.map.count(key) > 0;
 }
 
+size_t BufferPool::EvictFile(FileId file) {
+  size_t dropped = 0;
+  std::vector<uint64_t> write_back;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (FileOf(it->first) != file) {
+        ++it;
+        continue;
+      }
+      // A pinned frame here means a consumer outlived the invalidation
+      // point — truncating the backing file would dangle its reference.
+      SMOOTHSCAN_CHECK(it->second.pins == 0);
+      if (it->second.dirty) {
+        write_back.push_back(it->first);
+        ++shard->stats.write_backs;
+      }
+      shard->lru.erase(it->second.lru_it);
+      it = shard->map.erase(it);
+      ++dropped;
+    }
+  }
+  // Charge outside the shard latches, in (file, page) order like FlushAll.
+  std::sort(write_back.begin(), write_back.end());
+  for (const uint64_t key : write_back) {
+    disk_->WritePage(FileOf(key), PageOf(key));
+  }
+  return dropped;
+}
+
 uint64_t BufferPool::InsertLocked(Shard* shard, uint64_t key) {
   uint64_t write_back = kNoWriteBack;
   if (shard->map.size() >= shard->capacity) {

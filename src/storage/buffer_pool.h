@@ -143,6 +143,14 @@ class BufferPool {
   /// True when the page is resident (no I/O charged; no LRU update).
   bool Contains(FileId file, PageId page) const;
 
+  /// Drops every frame of `file` from every shard, writing dirty victims
+  /// back first (charged as page writes). Aborts if any frame of the file is
+  /// still pinned: callers invalidate only at publish quiescence, when no
+  /// consumer (query pin, mirror pin or parked shared-scan window) can be
+  /// holding the file's pages — the compressed tier's rebuild hygiene.
+  /// Returns the number of frames dropped.
+  size_t EvictFile(FileId file);
+
   /// Mirrors this pool's residency and pins into `mirror` (typically the
   /// engine's shared pool): every page this pool fetches or pins is also
   /// pinned in the mirror for the guard's lifetime, and extent prefetches

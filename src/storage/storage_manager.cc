@@ -15,6 +15,12 @@ PageId StorageManager::AppendPage(FileId file) {
   return static_cast<PageId>(files_[file].pages.size() - 1);
 }
 
+void StorageManager::TruncateFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SMOOTHSCAN_CHECK(file < files_.size());
+  files_[file].pages.clear();
+}
+
 Page* StorageManager::GetPageForWrite(FileId file, PageId page) {
   SMOOTHSCAN_CHECK(file < files_.size());
   SMOOTHSCAN_CHECK(page < files_[file].pages.size());

@@ -43,6 +43,13 @@ class StorageManager {
   /// Appends a fresh page to `file` and returns its id.
   PageId AppendPage(FileId file);
 
+  /// Drops every page of `file` (the file id stays valid and empty). Used by
+  /// compressed-extent rebuilds; callers must first evict the file's frames
+  /// from every buffer pool that could still hand out page references, and
+  /// must not overlap a truncate with reads of the same file (the compressed
+  /// tier guarantees this by rebuilding only at publish quiescence).
+  void TruncateFile(FileId file);
+
   /// Mutable access for build-time loading (no I/O accounting).
   Page* GetPageForWrite(FileId file, PageId page);
 

@@ -138,7 +138,7 @@ struct WorkloadReport {
   /// aggregate I/O.
   double total_sim_time = 0.0;
   /// Queries that ran each PathKind (indexed by its enum value).
-  uint64_t path_counts[kNumPathKinds] = {0, 0, 0, 0, 0, 0};
+  uint64_t path_counts[kNumPathKinds] = {};
   /// Every query's metrics (reads and writes), concatenated client by
   /// client in each client's submission order — a deterministic order, so
   /// two runs of one configuration align entry for entry.

@@ -209,17 +209,34 @@ void TableVersionRegistry::PublishLocked(FileId file, TableState* s) {
 }
 
 void TableVersionRegistry::RunPublishHook(FileId file) {
-  std::function<void(FileId)> hook;
+  // Copy the fan-out under the hook latch, run it outside: a hook may take
+  // its own latches (coordinator, extent map, cache) and must never nest
+  // under hook_mu_.
+  std::vector<std::function<void(FileId)>> hooks;
   {
     std::lock_guard<std::mutex> lock(hook_mu_);
-    hook = publish_hook_;
+    hooks.reserve(publish_hooks_.size());
+    for (const auto& [token, hook] : publish_hooks_) hooks.push_back(hook);
   }
-  if (hook) hook(file);
+  for (const auto& hook : hooks) hook(file);
 }
 
-void TableVersionRegistry::SetPublishHook(std::function<void(FileId)> hook) {
+uint64_t TableVersionRegistry::AddPublishHook(
+    std::function<void(FileId)> hook) {
   std::lock_guard<std::mutex> lock(hook_mu_);
-  publish_hook_ = std::move(hook);
+  const uint64_t token = next_hook_token_++;
+  publish_hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void TableVersionRegistry::RemovePublishHook(uint64_t token) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  for (auto it = publish_hooks_.begin(); it != publish_hooks_.end(); ++it) {
+    if (it->first == token) {
+      publish_hooks_.erase(it);
+      return;
+    }
+  }
 }
 
 uint64_t TableVersionRegistry::published_epoch(FileId file) const {

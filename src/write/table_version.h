@@ -166,11 +166,16 @@ class TableVersionRegistry {
   /// Readers currently holding leases.
   uint32_t readers(FileId file) const;
 
-  /// Called after each publish with the published table's id — the
-  /// QueryEngine wires this to shared-scan invalidation. Runs *under the
-  /// table latch*, so no reader can attach to stale shared state between the
-  /// fold and the hook; the hook must not call back into the registry.
-  void SetPublishHook(std::function<void(FileId)> hook);
+  /// Registers a hook called after each publish with the published table's
+  /// id — the QueryEngine wires shared-scan invalidation and compressed-tier
+  /// rebuild, and ResultCaches attach their own invalidation. Hooks run *in
+  /// registration order, under the table latch*, so no reader can attach to
+  /// stale shared state between the fold and the fan-out; a hook must not
+  /// call back into the registry. Returns a token for RemovePublishHook.
+  uint64_t AddPublishHook(std::function<void(FileId)> hook);
+  /// Unregisters `token` (idempotent; unknown tokens are ignored). Must not
+  /// be called from inside a hook.
+  void RemovePublishHook(uint64_t token);
 
   Engine* engine() const { return engine_; }
 
@@ -212,7 +217,9 @@ class TableVersionRegistry {
   mutable std::mutex map_mu_;  ///< Guards tables_ (not per-table state).
   std::unordered_map<FileId, std::unique_ptr<TableState>> tables_;
   std::mutex hook_mu_;
-  std::function<void(FileId)> publish_hook_;
+  std::vector<std::pair<uint64_t, std::function<void(FileId)>>>
+      publish_hooks_;  ///< (token, hook), in registration order.
+  uint64_t next_hook_token_ = 1;
 };
 
 }  // namespace smoothscan

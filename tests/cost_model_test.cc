@@ -8,6 +8,7 @@
 
 #include "access/full_scan.h"
 #include "access/index_scan.h"
+#include "compress/compressed_scan.h"
 #include "cost/cost_model.h"
 #include "workload/micro_bench.h"
 
@@ -209,6 +210,72 @@ TEST(CostModelValidationTest, PredictionsTrackSimulatedCosts) {
     const double predicted = model.IndexScanCost(card);
     EXPECT_GT(predicted, simulated * 0.4);
     EXPECT_LT(predicted, simulated * 2.5);
+  }
+}
+
+// The committed CalibratedCpuModel constants are the calibration sweep's
+// output (bench_cost_model_validation); this pins estimate-vs-measured CPU
+// drift so a substrate change that invalidates them fails in CI.
+TEST(CalibratedCpuModelTest, PerPathEstimatesTrackMeasuredCpu) {
+  EngineOptions eo;
+  eo.buffer_pool_pages = 512;
+  Engine engine(eo);
+  MicroBenchSpec spec;
+  spec.num_tuples = 30000;
+  spec.value_max = 4000;
+  MicroBenchDb db(&engine, spec);
+  CompressedExtentMap map(&engine);
+  const CompressedExtentRef extent =
+      map.Enable(db.mutable_heap(), MicroBenchDb::kIndexedColumn);
+  ASSERT_NE(extent, nullptr);
+  const CalibratedCpuModel cpu;
+  const uint64_t n = db.heap().num_tuples();
+
+  const auto measure = [&](AccessPath* path) {
+    engine.ColdRestart();
+    const double before = engine.cpu().time();
+    EXPECT_TRUE(path->Open().ok());
+    TupleBatch batch;
+    uint64_t card = 0;
+    while (path->NextBatch(&batch)) card += batch.size();
+    path->Close();
+    return std::pair<double, uint64_t>(engine.cpu().time() - before, card);
+  };
+  const auto expect_within = [](double estimate, double measured, double tol,
+                                const char* label) {
+    EXPECT_LE(std::abs(estimate - measured), tol * measured)
+        << label << ": estimate=" << estimate << " measured=" << measured;
+  };
+
+  for (const double sel : {0.05, 0.5}) {
+    const ScanPredicate pred = db.PredicateForSelectivity(sel);
+
+    // Full scan charges exactly inspect * #T + produce * card: tight bound.
+    FullScan full(&db.heap(), pred);
+    const auto [full_cpu, full_card] = measure(&full);
+    expect_within(cpu.FullScanCpu(n, full_card), full_cpu, 0.01, "full");
+
+    // Index scan: the leaf walk advances ~card entries (plus boundary
+    // seeks), so the fused per-result constant is near but not exact.
+    IndexScan index(&db.index(), pred);
+    const auto [index_cpu, index_card] = measure(&index);
+    expect_within(cpu.IndexScanCpu(index_card), index_cpu, 0.10, "index");
+
+    // Compressed scan with *measured* counts (zone consults = extent pages,
+    // key checks = inspected runs): tight. The chooser's a-priori estimate
+    // replaces checks by tuples / avg_run_length: looser, still bounded.
+    CompressedScan comp(&engine, extent, pred);
+    const auto [comp_cpu, comp_card] = measure(&comp);
+    expect_within(cpu.CompressedScanCpu(extent->num_pages(),
+                                        comp.stats().tuples_inspected,
+                                        comp_card),
+                  comp_cpu, 0.02, "compressed/measured");
+    const uint64_t est_checks = static_cast<uint64_t>(
+        static_cast<double>(extent->num_tuples) /
+        std::max(1.0, extent->avg_run_length()));
+    expect_within(
+        cpu.CompressedScanCpu(extent->num_pages(), est_checks, comp_card),
+        comp_cpu, 0.25, "compressed/a-priori");
   }
 }
 
