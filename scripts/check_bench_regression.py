@@ -34,6 +34,8 @@ DEFAULT_BENCHES = [
     "concurrent",
     "write_mix",
     "compressed",
+    "mem",
+    "result_cache_spill",
 ]
 
 # Relative sim_time increase tolerated before the gate trips.

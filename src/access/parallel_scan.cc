@@ -43,6 +43,16 @@ ParallelScan::ParallelScan(Engine* engine,
   // between its private stack and the engine's shared stream.
   SMOOTHSCAN_CHECK((options_.account_disk == nullptr) ==
                    (options_.account_cpu == nullptr));
+  if (options_.batch_pool != nullptr) {
+    pool_ = options_.batch_pool;
+  } else {
+    // Owned pool lives as long as the operator, not one Open cycle, so a
+    // re-Open starts with every batch of the previous cycle warm.
+    BatchPoolOptions pool_options;
+    pool_options.recycle = options_.recycle_batches;
+    owned_pool_ = std::make_unique<BatchPool>(pool_options, options_.mem);
+    pool_ = owned_pool_.get();
+  }
 }
 
 ParallelScan::~ParallelScan() {
@@ -62,8 +72,10 @@ TaskScheduler* ParallelScan::scheduler() {
   return owned_scheduler_.get();
 }
 
-void ParallelScan::EmitTo(size_t slot, TupleBatch&& batch) {
-  if (batch.empty()) return;
+void ParallelScan::EmitTo(size_t slot, PooledBatch&& batch) {
+  // Empty batches go straight back to the pool (the handle's destructor).
+  if (!batch || batch->empty()) return;
+  source_->RecordBatchFill(batch->size(), batch->capacity());
   {
     std::lock_guard<std::mutex> lock(mu_);
     slots_[slot].batches.push_back(std::move(batch));
@@ -82,23 +94,25 @@ Status ParallelScan::OpenImpl() {
   prolog_stats_ = AccessPathStats();
   group_.reset();
   emit_slot_ = 0;
-  has_pending_ = false;
+  pending_.Release();
   pending_pos_ = 0;
   finalized_ = false;
 
   // Serial prolog on the planning stream. Workers are not running yet, so the
   // prolog emits into slot 0 without locking concerns.
   planning_ = std::make_unique<MorselContext>(engine_, options_.mirror_pool);
-  std::vector<TupleBatch> prolog;
+  planning_->SetBatchPool(pool_);
+  planning_->SetMemScope(options_.mem);
+  std::vector<PooledBatch> prolog;
   std::vector<Morsel> morsels = kernel_->Plan(
       planning_->ctx(),
-      [&prolog](TupleBatch&& b) {
-        if (!b.empty()) prolog.push_back(std::move(b));
+      [&prolog](PooledBatch&& b) {
+        if (b && !b->empty()) prolog.push_back(std::move(b));
       },
       &prolog_stats_);
 
   slots_.resize(1 + morsels.size());
-  for (TupleBatch& b : prolog) slots_[0].batches.push_back(std::move(b));
+  for (PooledBatch& b : prolog) slots_[0].batches.push_back(std::move(b));
   slots_[0].done = true;
 
   morsel_stats_.resize(morsels.size());
@@ -106,6 +120,8 @@ Status ParallelScan::OpenImpl() {
   for (size_t i = 0; i < morsels.size(); ++i) {
     contexts_.push_back(
         std::make_unique<MorselContext>(engine_, options_.mirror_pool));
+    contexts_.back()->SetBatchPool(pool_);
+    contexts_.back()->SetMemScope(options_.mem);
   }
   source_ = std::make_unique<MorselSource>(std::move(morsels));
   if (source_->size() == 0) return Status::OK();
@@ -122,7 +138,7 @@ Status ParallelScan::OpenImpl() {
         MorselContext& mc = *contexts_[m.index];
         morsel_stats_[m.index] = kernel_->RunMorsel(
             m, mc.ctx(),
-            [this, &m](TupleBatch&& b) { EmitTo(m.index + 1, std::move(b)); });
+            [this, &m](PooledBatch&& b) { EmitTo(m.index + 1, std::move(b)); });
         {
           std::lock_guard<std::mutex> lock(mu_);
           slots_[m.index + 1].done = true;
@@ -137,21 +153,24 @@ Status ParallelScan::OpenImpl() {
 
 bool ParallelScan::NextBatchImpl(TupleBatch* out) {
   while (!out->full()) {
-    if (has_pending_) {
+    if (pending_) {
+      TupleBatch& pb = *pending_;
       if (out->empty() && pending_pos_ == 0 &&
-          pending_.capacity() == out->capacity()) {
-        // Whole-batch hand-off: the exchange moves the buffer, not the rows.
-        *out = std::move(pending_);
-        pending_ = TupleBatch();
-        has_pending_ = false;
+          pb.capacity() == out->capacity()) {
+        // Whole-batch hand-off: the exchange swaps the buffers, not the
+        // rows, then recycles the caller's old storage through the pool —
+        // the recycled-Value-storage contract the old `pending_ =
+        // TupleBatch()` reset silently broke.
+        std::swap(*out, pb);
+        pending_.Release();
         return !out->empty();
       }
-      const size_t n = pending_.size();
+      const size_t n = pb.size();
       while (pending_pos_ < n && !out->full()) {
-        out->Append(pending_.Take(pending_pos_++));
+        out->Append(pb.Take(pending_pos_++));
       }
       if (pending_pos_ >= n) {
-        has_pending_ = false;
+        pending_.Release();
         pending_pos_ = 0;
       }
       continue;
@@ -165,14 +184,14 @@ bool ParallelScan::NextBatchImpl(TupleBatch* out) {
         return !out->empty();
       }
       Slot& slot = slots_[emit_slot_];
-      if (!slot.batches.empty()) {
-        pending_ = std::move(slot.batches.front());
-        slot.batches.pop_front();
-        has_pending_ = true;
+      if (slot.head < slot.batches.size()) {
+        pending_ = std::move(slot.batches[slot.head++]);
         pending_pos_ = 0;
         break;
       }
       if (slot.done) {
+        slot.batches.clear();
+        slot.head = 0;
         ++emit_slot_;
         continue;
       }
@@ -207,13 +226,15 @@ void ParallelScan::Finalize() {
 void ParallelScan::CloseImpl() {
   Finalize();
   group_.reset();
-  source_.reset();
+  // Undrained batches (a consumer that Closed mid-stream) return to the pool
+  // warm with the slots; the pool itself outlives the cycle, so a re-Open
+  // starts with recycled storage instead of a cold heap.
   slots_.clear();
   slots_.shrink_to_fit();
-  pending_ = TupleBatch();
-  has_pending_ = false;
+  pending_.Release();
   pending_pos_ = 0;
   emit_slot_ = 0;
+  source_.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -253,10 +274,10 @@ class ParallelFullScanKernel : public ParallelScanKernel {
     FullScan scan(heap_, predicate_, options);
     scan.SetExecContext(&ctx);
     SMOOTHSCAN_CHECK(scan.Open().ok());
-    TupleBatch batch(kDefaultBatchSize);
-    while (scan.NextBatch(&batch)) {
+    PooledBatch batch = ctx.batch_pool->Acquire();
+    while (scan.NextBatch(batch.get())) {
       emit(std::move(batch));
-      batch = TupleBatch(kDefaultBatchSize);
+      batch = ctx.batch_pool->Acquire();
     }
     const AccessPathStats stats = scan.stats();
     scan.Close();
@@ -298,10 +319,10 @@ class ParallelIndexScanKernel : public ParallelScanKernel {
     IndexScan scan(index_, std::move(predicate));
     scan.SetExecContext(&ctx);
     SMOOTHSCAN_CHECK(scan.Open().ok());
-    TupleBatch batch(kDefaultBatchSize);
-    while (scan.NextBatch(&batch)) {
+    PooledBatch batch = ctx.batch_pool->Acquire();
+    while (scan.NextBatch(batch.get())) {
       emit(std::move(batch));
-      batch = TupleBatch(kDefaultBatchSize);
+      batch = ctx.batch_pool->Acquire();
     }
     const AccessPathStats stats = scan.stats();
     scan.Close();
@@ -366,7 +387,7 @@ class ParallelSortScanKernel : public ParallelScanKernel {
     AccessPathStats stats;
     const HeapFile* heap = index_->heap();
     const auto [begin, end] = spans_[m.index];
-    TupleBatch batch(kDefaultBatchSize);
+    PooledBatch batch = ctx.batch_pool->Acquire();
     uint64_t inspected = 0;
     uint64_t produced = 0;
     size_t i = begin;
@@ -382,10 +403,10 @@ class ParallelSortScanKernel : public ParallelScanKernel {
         ++inspected;
         if (predicate_.residual && !predicate_.residual(tuple)) continue;
         ++produced;
-        batch.Append(std::move(tuple));
-        if (batch.full()) {
+        batch->Append(std::move(tuple));
+        if (batch->full()) {
           emit(std::move(batch));
-          batch = TupleBatch(kDefaultBatchSize);
+          batch = ctx.batch_pool->Acquire();
         }
       }
       i = j + 1;
@@ -431,7 +452,7 @@ class ParallelSwitchScanKernel : public ParallelScanKernel {
     produced_.Clear();
     bool switched = false;
     const HeapFile* heap = index_->heap();
-    TupleBatch batch(kDefaultBatchSize);
+    PooledBatch batch = planning.batch_pool->Acquire();
     uint64_t inspected = 0;
     uint64_t produced = 0;
     uint64_t cache_ops = 0;
@@ -453,10 +474,10 @@ class ParallelSwitchScanKernel : public ParallelScanKernel {
       produced_.Insert(tid);
       ++cache_ops;
       ++produced;
-      batch.Append(std::move(tuple));
-      if (batch.full()) {
+      batch->Append(std::move(tuple));
+      if (batch->full()) {
         emit(std::move(batch));
-        batch = TupleBatch(kDefaultBatchSize);
+        batch = planning.batch_pool->Acquire();
       }
     }
     emit(std::move(batch));
@@ -478,7 +499,7 @@ class ParallelSwitchScanKernel : public ParallelScanKernel {
     if (m.page_begin > 0) {
       ctx.disk->SeedPosition(heap->file_id(), m.page_begin - 1);
     }
-    TupleBatch batch(kDefaultBatchSize);
+    PooledBatch batch = ctx.batch_pool->Acquire();
     uint64_t inspected = 0;
     uint64_t produced = 0;
     uint64_t cache_ops = 0;
@@ -501,23 +522,23 @@ class ParallelSwitchScanKernel : public ParallelScanKernel {
         const int64_t key =
             schema.ReadInt64Column(data, size, predicate_.column);
         if (!predicate_.MatchesKey(key)) continue;
-        Tuple* slot = batch.AppendSlot();
+        Tuple* slot = batch->AppendSlot();
         schema.DeserializeInto(data, size, slot);
         if (predicate_.residual && !predicate_.residual(*slot)) {
-          batch.PopLast();
+          batch->PopLast();
           continue;
         }
         // Suppress tuples already produced pre-switch (read-only lookups:
         // the cache was frozen when the prolog finished).
         ++cache_ops;
         if (produced_.Contains(Tid{pid, s})) {
-          batch.PopLast();
+          batch->PopLast();
           continue;
         }
         ++produced;
-        if (batch.full()) {
+        if (batch->full()) {
           emit(std::move(batch));
-          batch = TupleBatch(kDefaultBatchSize);
+          batch = ctx.batch_pool->Acquire();
         }
       }
     }
@@ -583,7 +604,7 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
     const HeapFile* heap = index_->heap();
     const Schema& schema = heap->schema();
     uint32_t region_pages = 1;
-    TupleBatch batch(kDefaultBatchSize);
+    PooledBatch batch = ctx.batch_pool->Acquire();
 
     for (const Tid target : buckets_[m.index]) {
       ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
@@ -644,10 +665,10 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
             ++ss.card_mode1;
           }
           ++produced;
-          batch.Append(std::move(tuple));
-          if (batch.full()) {
+          batch->Append(std::move(tuple));
+          if (batch->full()) {
             emit(std::move(batch));
-            batch = TupleBatch(kDefaultBatchSize);
+            batch = ctx.batch_pool->Acquire();
           }
         }
         if (page_has_result) ++region_result_pages;

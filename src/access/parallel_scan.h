@@ -37,7 +37,6 @@
 #define SMOOTHSCAN_ACCESS_PARALLEL_SCAN_H_
 
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -50,6 +49,7 @@
 #include "access/sort_scan.h"
 #include "access/switch_scan.h"
 #include "exec/task_scheduler.h"
+#include "mem/batch_pool.h"
 #include "storage/exec_context.h"
 
 namespace smoothscan {
@@ -74,6 +74,17 @@ struct ParallelScanOptions {
   /// parallel query's residency and pins land in it too (no accounting
   /// there). See BufferPool::SetMirror.
   BufferPool* mirror_pool = nullptr;
+  /// Recycled-batch pool the kernels draw output batches from. Null: the
+  /// scan owns a private pool that persists across Open cycles (steady-state
+  /// reuse). An external pool lets one query's operators share a free list.
+  BatchPool* batch_pool = nullptr;
+  /// Per-query execution-memory account charged for the owned pool's warm
+  /// batches (ignored when `batch_pool` is external — that pool already has
+  /// its own account). Accounting only; simulated cost never changes.
+  QueryMemoryScope* mem = nullptr;
+  /// Ablation knob for the owned pool: false reverts to allocate-per-batch
+  /// (bench_mem_governance's baseline). No effect on an external pool.
+  bool recycle_batches = true;
 };
 
 /// The path-specific logic of a parallel scan. Plan() runs serially on the
@@ -81,7 +92,10 @@ struct ParallelScanOptions {
 /// morsel, concurrently, each call against its own stream.
 class ParallelScanKernel {
  public:
-  using EmitFn = std::function<void(TupleBatch&&)>;
+  /// Kernels Acquire() batches from ctx.batch_pool, fill, and emit; the
+  /// consumer (or the pool handle's destructor) releases them — so batch
+  /// storage cycles between producers and consumer without heap traffic.
+  using EmitFn = std::function<void(PooledBatch&&)>;
 
   virtual ~ParallelScanKernel() = default;
   virtual const char* name() const = 0;
@@ -112,6 +126,11 @@ class ParallelScan : public AccessPath {
   /// Valid after Open().
   size_t num_morsels() const { return source_ != nullptr ? source_->size() : 0; }
   const ParallelScanKernel* kernel() const { return kernel_.get(); }
+  /// The batch pool the kernels draw from (owned or external).
+  const BatchPool* batch_pool() const { return pool_; }
+  /// The morsel dispenser of the current/last Open cycle (fill-rate
+  /// telemetry and SuggestMorselPages live here). Null before first Open.
+  const MorselSource* morsel_source() const { return source_.get(); }
 
  protected:
   Status OpenImpl() override;
@@ -120,14 +139,18 @@ class ParallelScan : public AccessPath {
   ExecContext DefaultContext() const override;
 
  private:
-  /// Per-slot output queue: slot 0 is the prolog, slot i+1 is morsel i.
+  /// Per-slot output queue: slot 0 is the prolog, slot i+1 is morsel i. A
+  /// vector + head cursor instead of a deque: entries are tiny pool handles,
+  /// pushes amortize into the retained capacity, and a drained slot frees in
+  /// one shot.
   struct Slot {
-    std::deque<TupleBatch> batches;
+    std::vector<PooledBatch> batches;
+    size_t head = 0;
     bool done = false;
   };
 
   TaskScheduler* scheduler();
-  void EmitTo(size_t slot, TupleBatch&& batch);
+  void EmitTo(size_t slot, PooledBatch&& batch);
   /// Waits for the workers and merges all stream accounting into the engine
   /// (planning first, then morsels in index order). Idempotent per cycle.
   void Finalize();
@@ -136,6 +159,8 @@ class ParallelScan : public AccessPath {
   std::unique_ptr<ParallelScanKernel> kernel_;
   ParallelScanOptions options_;
   std::unique_ptr<TaskScheduler> owned_scheduler_;
+  std::unique_ptr<BatchPool> owned_pool_;
+  BatchPool* pool_ = nullptr;
 
   std::unique_ptr<MorselSource> source_;
   std::unique_ptr<MorselContext> planning_;
@@ -149,9 +174,8 @@ class ParallelScan : public AccessPath {
   std::condition_variable cv_;
   std::vector<Slot> slots_;
   size_t emit_slot_ = 0;
-  TupleBatch pending_;
+  PooledBatch pending_;
   size_t pending_pos_ = 0;
-  bool has_pending_ = false;
 };
 
 /// Kernel factories. Each returns null for configurations whose semantics

@@ -14,6 +14,10 @@ ResultCache::ResultCache(std::vector<int64_t> separators, Engine* engine,
   if (options_.max_resident_tuples != UINT64_MAX) {
     SMOOTHSCAN_CHECK(engine_ != nullptr);
   }
+  if (options_.broker != nullptr) {
+    SMOOTHSCAN_CHECK(engine_ != nullptr);  // Pressure spill charges I/O.
+    mem_ = options_.broker->Register(MemoryClass::kResultCache, "result_cache");
+  }
   partitions_.resize(separators_.size() + 1);
 }
 
@@ -40,6 +44,18 @@ void ResultCache::Clear() {
   first_live_partition_ = 0;
   size_ = 0;
   resident_size_ = 0;
+  SyncBrokerCharge();
+}
+
+void ResultCache::SyncBrokerCharge() {
+  if (!mem_.valid()) return;
+  const uint64_t want = resident_size_ * options_.bytes_per_tuple;
+  const uint64_t have = mem_.bytes();
+  if (want > have) {
+    mem_.Charge(want - have);
+  } else if (want < have) {
+    mem_.Uncharge(have - want);
+  }
 }
 
 size_t ResultCache::PartitionOf(int64_t key) const {
@@ -54,25 +70,44 @@ uint32_t ResultCache::SpillPages(size_t n) const {
       (n + options_.spill_tuples_per_page - 1) / options_.spill_tuples_per_page);
 }
 
-void ResultCache::MaybeSpill(size_t keep) {
-  if (resident_size_ <= options_.max_resident_tuples) return;
+void ResultCache::SpillPartition(size_t p) {
+  Partition& part = partitions_[p];
   if (!spill_file_created_) {
     spill_file_ = engine_->storage().CreateFile("result_cache_overflow");
     spill_file_created_ = true;
   }
+  const uint32_t pages = SpillPages(part.tuples.size());
+  engine_->disk().WriteExtent(spill_file_, next_spill_page_, pages);
+  next_spill_page_ += pages;
+  part.spilled = true;  // Contents retained in memory; I/O is simulated.
+  resident_size_ -= part.tuples.size();
+  ++spill_stats_.spills;
+  spill_stats_.spilled_tuples += part.tuples.size();
+}
+
+void ResultCache::MaybeSpill(size_t keep) {
+  if (resident_size_ <= options_.max_resident_tuples) return;
   // Spill from the furthest key range backwards, skipping the partition
   // currently being filled (spilling it would thrash).
   for (size_t p = partitions_.size(); p-- > first_live_partition_;) {
     if (resident_size_ <= options_.max_resident_tuples) break;
     Partition& part = partitions_[p];
     if (p == keep || part.spilled || part.tuples.empty()) continue;
-    const uint32_t pages = SpillPages(part.tuples.size());
-    engine_->disk().WriteExtent(spill_file_, next_spill_page_, pages);
-    next_spill_page_ += pages;
-    part.spilled = true;  // Contents retained in memory; I/O is simulated.
-    resident_size_ -= part.tuples.size();
-    ++spill_stats_.spills;
-    spill_stats_.spilled_tuples += part.tuples.size();
+    SpillPartition(p);
+  }
+}
+
+void ResultCache::SpillForPressure(size_t keep) {
+  if (!mem_.valid() || !options_.broker->UnderPressure()) return;
+  // Same furthest-first order as the budget path: the overflow file is read
+  // back "upon reaching the range keys belong to", so far ranges cost least.
+  for (size_t p = partitions_.size(); p-- > first_live_partition_;) {
+    Partition& part = partitions_[p];
+    if (p == keep || part.spilled || part.tuples.empty()) continue;
+    SpillPartition(p);
+    ++spill_stats_.pressure_spills;
+    SyncBrokerCharge();  // Uncharge before re-checking global pressure.
+    if (!options_.broker->UnderPressure()) break;
   }
 }
 
@@ -85,6 +120,7 @@ void ResultCache::Restore(size_t p) {
   resident_size_ += part.tuples.size();
   ++spill_stats_.restores;
   spill_stats_.restored_tuples += part.tuples.size();
+  SyncBrokerCharge();
 }
 
 void ResultCache::Insert(int64_t key, Tid tid, Tuple tuple) {
@@ -100,6 +136,8 @@ void ResultCache::Insert(int64_t key, Tid tid, Tuple tuple) {
     ++inserts_;
     max_size_ = std::max(max_size_, size_);
     MaybeSpill(p);
+    SyncBrokerCharge();
+    SpillForPressure(p);
   }
 }
 
@@ -117,6 +155,7 @@ std::optional<Tuple> ResultCache::Take(int64_t key, Tid tid) {
   part.tuples.erase(it);
   --size_;
   --resident_size_;
+  SyncBrokerCharge();
   return tuple;
 }
 
@@ -133,6 +172,7 @@ uint64_t ResultCache::EvictBelow(int64_t key) {
     part.spilled = false;
     ++first_live_partition_;
   }
+  SyncBrokerCharge();
   return evicted;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "mem/memory_broker.h"
 #include "storage/engine.h"
 #include "storage/schema.h"
 
@@ -39,6 +40,13 @@ struct ResultCacheOptions {
   uint64_t max_resident_tuples = UINT64_MAX;
   /// Tuples that fit in one overflow-file page (sizing the charged I/O).
   uint32_t spill_tuples_per_page = 64;
+  /// Memory broker the cache reports its resident bytes to. Under global
+  /// pressure the cache spills furthest partitions even below its own tuple
+  /// budget — the broker's preferred alternative to refusing memory. Needs
+  /// `engine` (spill I/O is charged); null = ungoverned.
+  MemoryBroker* broker = nullptr;
+  /// Resident-footprint estimate per cached tuple for broker accounting.
+  uint32_t bytes_per_tuple = 128;
 };
 
 struct ResultCacheStats {
@@ -46,6 +54,7 @@ struct ResultCacheStats {
   uint64_t restores = 0;         ///< Partition restore events.
   uint64_t spilled_tuples = 0;   ///< Cumulative tuples written out.
   uint64_t restored_tuples = 0;  ///< Cumulative tuples read back.
+  uint64_t pressure_spills = 0;  ///< Spills forced by broker pressure.
 };
 
 class ResultCache {
@@ -105,10 +114,19 @@ class ResultCache {
 
   /// Partition index owning `key`.
   size_t PartitionOf(int64_t key) const;
+  /// Writes one partition to the overflow file (charged) and marks it
+  /// non-resident.
+  void SpillPartition(size_t p);
   /// Spills furthest partitions until the resident budget is met. Never
   /// spills `keep` (the partition being inserted into).
   void MaybeSpill(size_t keep);
+  /// Broker-pressure path: spills furthest partitions (skipping `keep`)
+  /// until the broker drops below its global budget or nothing resident
+  /// remains. Queries never fail — they just read the overflow file later.
+  void SpillForPressure(size_t keep);
   void Restore(size_t p);
+  /// Re-syncs the broker consumer to `resident_size_ * bytes_per_tuple`.
+  void SyncBrokerCharge();
   /// Overflow-file pages for `n` tuples.
   uint32_t SpillPages(size_t n) const;
 
@@ -116,6 +134,7 @@ class ResultCache {
   std::vector<Partition> partitions_;
   Engine* engine_;
   ResultCacheOptions options_;
+  MemoryBroker::Consumer mem_;
   ResultCacheStats spill_stats_;
   FileId spill_file_ = 0;
   bool spill_file_created_ = false;

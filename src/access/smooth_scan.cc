@@ -116,6 +116,7 @@ Status SmoothScan::OpenImpl() {
   if (options_.preserve_order) {
     ResultCacheOptions rc_options;
     rc_options.max_resident_tuples = options_.result_cache_budget;
+    rc_options.broker = options_.broker;
     result_cache_ = std::make_unique<ResultCache>(
         index_->RootSeparators(), index_->heap()->engine(), rc_options);
   }
@@ -133,6 +134,13 @@ void SmoothScan::CloseImpl() {
   it_.reset();
   page_cache_.reset();
   tuple_cache_.reset();
+  if (result_cache_ != nullptr) {
+    const ResultCacheStats& rc = result_cache_->spill_stats();
+    sstats_.rc_spills += rc.spills;
+    sstats_.rc_pressure_spills += rc.pressure_spills;
+    sstats_.rc_spilled_tuples += rc.spilled_tuples;
+    sstats_.rc_restored_tuples += rc.restored_tuples;
+  }
   result_cache_.reset();
   emit_.clear();
   emit_.shrink_to_fit();

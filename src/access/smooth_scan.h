@@ -111,6 +111,9 @@ struct SmoothScanOptions {
   /// Resident-tuple budget of the Result Cache before its furthest key-range
   /// partitions spill to a simulated overflow file (Section IV-A).
   uint64_t result_cache_budget = UINT64_MAX;
+  /// Memory broker the Result Cache registers with (null = ungoverned):
+  /// under global pressure the cache spills early instead of growing.
+  MemoryBroker* broker = nullptr;
   /// Deduplicate pre-trigger results positionally instead of with the Tuple
   /// ID Cache: the paper notes that with a strict (indexkey, TID) ordering in
   /// the secondary index "it is sufficient to remember the last tuple we
@@ -142,6 +145,12 @@ struct SmoothScanStats {
   uint64_t rc_hits = 0;
   uint64_t rc_inserts = 0;
   uint64_t rc_max_size = 0;
+  /// Result Cache spill counters, latched at Close (the cache itself is an
+  /// Open-to-Close structure; these survive it for benches and tests).
+  uint64_t rc_spills = 0;
+  uint64_t rc_pressure_spills = 0;
+  uint64_t rc_spilled_tuples = 0;
+  uint64_t rc_restored_tuples = 0;
   /// Shared-SmoothScan mode: pages taken for free because a peer query had
   /// already probed them and they were still resident in the shared pool.
   uint64_t shared_free_pages = 0;

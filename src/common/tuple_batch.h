@@ -54,6 +54,16 @@ class TupleBatch {
     sel_.clear();
   }
 
+  /// The opposite of Clear(): drops the row and selection storage outright.
+  /// Memory-governance shedding only (a BatchPool over quota) — the next
+  /// fill reallocates lazily via EnsureRows.
+  void ReleaseMemory() {
+    filled_ = 0;
+    sel_active_ = false;
+    std::vector<Tuple>().swap(rows_);
+    std::vector<uint32_t>().swap(sel_);
+  }
+
   /// Appends a tuple by move. Illegal once a selection is active (the dense
   /// region would no longer be well defined) — Compact() first.
   void Append(Tuple tuple) {

@@ -329,8 +329,11 @@ class ParallelCompressedScanKernel : public ParallelScanKernel {
     CompressedScan scan(engine_, extent_, predicate_, opts);
     scan.SetExecContext(&ctx);
     SMOOTHSCAN_CHECK(scan.Open().ok());
-    TupleBatch batch(kDefaultBatchSize);
-    while (scan.NextBatch(&batch)) emit(std::move(batch));
+    PooledBatch batch = ctx.batch_pool->Acquire();
+    while (scan.NextBatch(batch.get())) {
+      emit(std::move(batch));
+      batch = ctx.batch_pool->Acquire();
+    }
     scan.Close();
     return scan.stats();
   }

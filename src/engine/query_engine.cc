@@ -40,6 +40,15 @@ const char* QueryLaneToString(QueryLane lane) {
 QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
     : engine_(engine), options_(options) {
   SMOOTHSCAN_CHECK(options_.max_admitted >= 1);
+  if (options_.broker != nullptr) {
+    // The shared pool's frame memory is a fixed, engine-lifetime footprint:
+    // charge it once so every other consumer competes for what remains.
+    pool_consumer_ = options_.broker->Register(MemoryClass::kBufferPool,
+                                               "buffer_pool_frames");
+    pool_consumer_.Charge(
+        static_cast<uint64_t>(engine_->options().buffer_pool_pages) *
+        engine_->options().page_size);
+  }
   if (options_.versions != nullptr &&
       (options_.sharing != nullptr || options_.compressed != nullptr)) {
     // Snapshot publish stales any parked shared scan of the table (its chunk
@@ -347,6 +356,11 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   // Per-query accounting stack; page pins mirror into the shared pool.
   QueryContext qctx(engine_,
                     options_.mirror_pages ? &engine_->pool() : nullptr);
+  // Per-query execution-memory account: batch pools charge it; a quota
+  // breach or global broker pressure sheds their recycled storage. Pure
+  // governance — the accounting stack above is untouched.
+  QueryMemoryScope mem_scope(options_.broker, options_.query_quota_bytes);
+  qctx.SetMemScope(&mem_scope);
 
   const FileId table = spec.index->heap()->file_id();
   bool shared_run = kind == PathKind::kSharedScan;
@@ -366,6 +380,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
       po.account_disk = &qctx.disk();
       po.account_cpu = &qctx.cpu();
       po.mirror_pool = options_.mirror_pages ? &engine_->pool() : nullptr;
+      po.mem = &mem_scope;
       path = MakeParallelCompressedScan(engine_, extent, spec.predicate,
                                         CompressedScanOptions(), po);
       m.parallel = path != nullptr;
@@ -391,6 +406,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     // is not — peer-probed resident pages come free, which is the point.
     SmoothScanOptions so;
     so.preserve_order = spec.need_order;
+    so.broker = options_.broker;
     so.shared_group = options_.sharing->SmoothSharingFor(spec.index->heap());
     path = std::make_unique<SmoothScan>(spec.index, spec.predicate, so);
     path->SetExecContext(&qctx.ctx());
@@ -402,6 +418,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     po.account_disk = &qctx.disk();
     po.account_cpu = &qctx.cpu();
     po.mirror_pool = options_.mirror_pages ? &engine_->pool() : nullptr;
+    po.mem = &mem_scope;
     path = MakeParallelPath(kind, spec.index, spec.predicate, spec.need_order,
                             estimate, po);
     m.parallel = path != nullptr;
@@ -440,6 +457,8 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   m.random_ios = io.random_ios;
   m.seq_ios = io.seq_ios;
   m.pages_read = io.pages_read;
+  m.mem_peak_bytes = mem_scope.peak_bytes();
+  m.mem_quota_breaches = mem_scope.quota_breaches();
   return res;
 }
 

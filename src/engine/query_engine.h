@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "compress/compressed_extent_map.h"
+#include "mem/memory_broker.h"
 #include "plan/access_path_chooser.h"
 #include "storage/exec_context.h"
 #include "write/table_version.h"
@@ -117,6 +118,12 @@ struct QueryMetrics {
   bool parallel = false;                ///< Morsel-driven leaf was used.
   bool write = false;                   ///< This was a write query.
   QueryLane lane = QueryLane::kBatch;
+  /// Peak execution-memory bytes charged to the query's QueryMemoryScope
+  /// (0 when the engine runs without a broker/quota).
+  uint64_t mem_peak_bytes = 0;
+  /// Times a charge pushed the scope past its per-query quota. Breaches
+  /// shed batch storage on release — they never fail the query.
+  uint64_t mem_quota_breaches = 0;
 };
 
 struct QueryResult {
@@ -158,6 +165,15 @@ struct QueryEngineOptions {
   /// rebuilds the extent so a compressed plan never reads a stale sibling.
   /// Null disables the tier. Must outlive the engine.
   CompressedExtentMap* compressed = nullptr;
+  /// Unified memory broker (src/mem/): the engine registers the shared
+  /// buffer pool's frames, and every query executes under a QueryMemoryScope
+  /// charging its batch-pool memory here. Governance only — simulated cost
+  /// is bit-identical with and without a broker. Must outlive the engine.
+  MemoryBroker* broker = nullptr;
+  /// Per-query execution-memory quota (batch-pool bytes). A breach sheds the
+  /// query's recycled batch storage instead of failing it. Unlimited by
+  /// default; meaningful with or without `broker`.
+  uint64_t query_quota_bytes = UINT64_MAX;
 };
 
 class QueryEngine {
@@ -224,6 +240,9 @@ class QueryEngine {
 
   Engine* engine_;
   QueryEngineOptions options_;
+  /// Broker charge for the shared buffer pool's frame memory (capacity
+  /// bytes, charged once for the engine's lifetime).
+  MemoryBroker::Consumer pool_consumer_;
   /// Registry publish-hook registration (0 = none wired).
   uint64_t publish_hook_token_ = 0;
 

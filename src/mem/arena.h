@@ -1,0 +1,103 @@
+// Arena: a chunked bump allocator for execution-lifetime objects. Allocation
+// is a pointer bump within the current chunk; a new chunk is appended when the
+// current one is exhausted. Nothing is ever freed individually — the arena
+// releases all chunks at once on destruction — which is exactly the lifetime
+// of the batch headers the BatchPool places here: they live as long as the
+// operator (or query) that owns the pool, and recycling happens *within* the
+// arena, not against the global heap.
+//
+// The arena does not run destructors: callers placing non-trivially-
+// destructible objects (New<T>) must destroy them before the arena goes away.
+
+#ifndef SMOOTHSCAN_MEM_ARENA_H_
+#define SMOOTHSCAN_MEM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smoothscan {
+
+class Arena {
+ public:
+  /// Default chunk size: large enough that a pool of tens of batch headers
+  /// fits in one or two chunks, small enough to not dwarf a tiny test arena.
+  static constexpr size_t kDefaultChunkBytes = 16 * 1024;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {
+    SMOOTHSCAN_CHECK(chunk_bytes_ > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `alignment` (a power of two).
+  /// Oversized requests get a dedicated chunk.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    SMOOTHSCAN_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    // Align the absolute address, not the chunk-relative offset: new[] only
+    // guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the chunk base.
+    if (!chunks_.empty()) {
+      Chunk& chunk = chunks_.back();
+      const uintptr_t base = reinterpret_cast<uintptr_t>(chunk.data.get());
+      const size_t aligned = Align(base + chunk.used, alignment) - base;
+      if (aligned + bytes <= chunk.size) {
+        chunk.used = aligned + bytes;
+        bytes_used_ += bytes;
+        return chunk.data.get() + aligned;
+      }
+    }
+    // Fresh chunk, padded so any base can be aligned up within it.
+    const size_t need = bytes + alignment - 1;
+    const size_t size = need > chunk_bytes_ ? need : chunk_bytes_;
+    Chunk chunk;
+    chunk.data.reset(new std::byte[size]);
+    chunk.size = size;
+    const uintptr_t base = reinterpret_cast<uintptr_t>(chunk.data.get());
+    const size_t offset = Align(base, alignment) - base;
+    chunk.used = offset + bytes;
+    bytes_used_ += bytes;
+    bytes_reserved_ += size;
+    chunks_.push_back(std::move(chunk));
+    return chunks_.back().data.get() + offset;
+  }
+
+  /// Placement-constructs a T in arena storage. The arena never calls ~T —
+  /// the caller owns destruction.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  size_t bytes_used() const { return bytes_used_; }
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t Align(size_t offset, size_t alignment) {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  size_t chunk_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_MEM_ARENA_H_

@@ -1,0 +1,94 @@
+#include "mem/batch_pool.h"
+
+#include "storage/schema.h"
+
+namespace smoothscan {
+
+namespace {
+
+/// Conservative per-row footprint estimate for the default charge: the Tuple
+/// vector header plus a nominal ten-column Value payload (the micro-benchmark
+/// schema). A hint, not a measurement — governance needs a stable, cheap
+/// number, not per-vector bookkeeping.
+uint64_t DefaultBatchBytes(size_t capacity) {
+  const uint64_t per_row = sizeof(Tuple) + 10 * sizeof(Value);
+  return capacity * per_row;
+}
+
+}  // namespace
+
+BatchPool::BatchPool(BatchPoolOptions options, MemoryAccount* account)
+    : options_(options),
+      account_(account),
+      batch_bytes_(options.batch_bytes_hint != 0
+                       ? options.batch_bytes_hint
+                       : DefaultBatchBytes(options.batch_capacity)) {
+  SMOOTHSCAN_CHECK(options_.batch_capacity > 0);
+}
+
+BatchPool::~BatchPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Every batch must be back home; a PooledBatch outliving its pool would
+  // release into freed state.
+  SMOOTHSCAN_CHECK(free_.size() == slots_.size());
+  for (Slot& slot : slots_) {
+    if (slot.charged && account_ != nullptr) account_->Uncharge(batch_bytes_);
+    slot.batch->~TupleBatch();  // Header memory goes with the arena.
+  }
+}
+
+PooledBatch BatchPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (!free_.empty()) {
+    const size_t index = free_.back();
+    free_.pop_back();
+    Slot& slot = slots_[index];
+    if (slot.warm) ++stats_.reuses;
+    slot.warm = false;
+    return PooledBatch(this, index, slot.batch);
+  }
+  Slot slot;
+  slot.batch = arena_.New<TupleBatch>(options_.batch_capacity);
+  slots_.push_back(slot);
+  ++stats_.fresh_batches;
+  return PooledBatch(this, slots_.size() - 1, slots_.back().batch);
+}
+
+void BatchPool::Release(size_t slot_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  Slot& slot = slots_[slot_index];
+  slot.batch->Clear();
+  const bool shed =
+      !options_.recycle || (account_ != nullptr && account_->OverQuota());
+  if (shed) {
+    slot.batch->ReleaseMemory();
+    slot.warm = false;
+    ++stats_.sheds;
+    if (slot.charged) {
+      if (account_ != nullptr) account_->Uncharge(batch_bytes_);
+      slot.charged = false;
+    }
+  } else {
+    slot.warm = true;
+    if (!slot.charged) {
+      if (account_ != nullptr) account_->Charge(batch_bytes_);
+      slot.charged = true;
+    }
+  }
+  free_.push_back(slot_index);
+}
+
+BatchPoolStats BatchPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PooledBatch::Release() {
+  if (pool_ != nullptr) pool_->Release(slot_);
+  pool_ = nullptr;
+  batch_ = nullptr;
+}
+
+}  // namespace smoothscan

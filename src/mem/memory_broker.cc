@@ -1,0 +1,143 @@
+#include "mem/memory_broker.h"
+
+#include <algorithm>
+
+namespace smoothscan {
+
+const char* MemoryClassName(MemoryClass cls) {
+  switch (cls) {
+    case MemoryClass::kBufferPool:
+      return "buffer_pool";
+    case MemoryClass::kResultCache:
+      return "result_cache";
+    case MemoryClass::kSharedScanWindow:
+      return "shared_scan_window";
+    case MemoryClass::kExecBatches:
+      return "exec_batches";
+    case MemoryClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+MemoryBroker::Consumer MemoryBroker::Register(MemoryClass cls,
+                                              std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = entries_.size();
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[id];
+  e = Entry();
+  e.cls = cls;
+  e.name = std::move(name);
+  e.live = true;
+  Consumer c;
+  c.broker_ = this;
+  c.id_ = id;
+  return c;
+}
+
+void MemoryBroker::Charge(size_t id, uint64_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[id];
+  SMOOTHSCAN_CHECK(e.live);
+  e.bytes += bytes;
+  e.peak_bytes = std::max(e.peak_bytes, e.bytes);
+  class_bytes_[static_cast<size_t>(e.cls)] += bytes;
+  const uint64_t before = total_.load(std::memory_order_relaxed);
+  const uint64_t after = before + bytes;
+  total_.store(after, std::memory_order_relaxed);
+  peak_total_ = std::max(peak_total_, after);
+  if (before <= options_.global_budget_bytes &&
+      after > options_.global_budget_bytes) {
+    pressure_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MemoryBroker::Uncharge(size_t id, uint64_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[id];
+  SMOOTHSCAN_CHECK(e.live && e.bytes >= bytes);
+  e.bytes -= bytes;
+  class_bytes_[static_cast<size_t>(e.cls)] -= bytes;
+  total_.store(total_.load(std::memory_order_relaxed) - bytes,
+               std::memory_order_relaxed);
+}
+
+void MemoryBroker::Unregister(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[id];
+  SMOOTHSCAN_CHECK(e.live);
+  class_bytes_[static_cast<size_t>(e.cls)] -= e.bytes;
+  total_.store(total_.load(std::memory_order_relaxed) - e.bytes,
+               std::memory_order_relaxed);
+  e = Entry();
+  free_ids_.push_back(id);
+}
+
+uint64_t MemoryBroker::ConsumerBytes(size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_[id].bytes;
+}
+
+uint64_t MemoryBroker::peak_total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_total_;
+}
+
+uint64_t MemoryBroker::class_bytes(MemoryClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return class_bytes_[static_cast<size_t>(cls)];
+}
+
+std::vector<MemoryConsumerStats> MemoryBroker::ConsumerSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MemoryConsumerStats> out;
+  for (const Entry& e : entries_) {
+    if (!e.live) continue;
+    MemoryConsumerStats s;
+    s.name = e.name;
+    s.cls = e.cls;
+    s.bytes = e.bytes;
+    s.peak_bytes = e.peak_bytes;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+QueryMemoryScope::QueryMemoryScope(MemoryBroker* broker, uint64_t quota_bytes)
+    : broker_(broker), quota_(quota_bytes) {
+  if (broker_ != nullptr) {
+    consumer_ = broker_->Register(MemoryClass::kExecBatches, "query_exec");
+  }
+}
+
+void QueryMemoryScope::Charge(uint64_t bytes) {
+  const uint64_t after =
+      bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (after > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, after, std::memory_order_relaxed)) {
+  }
+  if (after > quota_) breaches_.fetch_add(1, std::memory_order_relaxed);
+  consumer_.Charge(bytes);
+}
+
+void QueryMemoryScope::Uncharge(uint64_t bytes) {
+  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  consumer_.Uncharge(bytes);
+}
+
+bool QueryMemoryScope::OverQuota() const {
+  if (bytes_.load(std::memory_order_relaxed) > quota_) return true;
+  return broker_ != nullptr && broker_->UnderPressure();
+}
+
+}  // namespace smoothscan

@@ -14,6 +14,10 @@ SharedScanGroup::SharedScanGroup(Engine* engine, FileId file,
                   options.chunk_pages) {
   SMOOTHSCAN_CHECK(options_.chunk_pages >= 1);
   SMOOTHSCAN_CHECK(options_.drift_chunks >= 1);
+  if (options_.broker != nullptr) {
+    mem_ = options_.broker->Register(MemoryClass::kSharedScanWindow,
+                                     "shared_scan_window");
+  }
 }
 
 SharedScanGroupStats SharedScanGroup::stats() const {
@@ -55,7 +59,7 @@ void SharedScanGroup::Attach(SharedScanConsumer* out) {
   PumpLocked();
 }
 
-bool SharedScanGroup::CanProduceLocked() const {
+bool SharedScanGroup::CanProduceLocked() {
   if (active_consumers_ == 0) return false;
   uint64_t min_next = UINT64_MAX;
   uint64_t max_end = 0;
@@ -64,9 +68,21 @@ bool SharedScanGroup::CanProduceLocked() const {
     min_next = std::min(min_next, c.next_seq);
     max_end = std::max(max_end, c.end_seq);
   }
-  // Produce only chunks someone still needs, and never drift more than the
-  // bound ahead of the slowest consumer (bounds the pinned window).
-  return head_seq_ < max_end && head_seq_ < min_next + options_.drift_chunks;
+  if (head_seq_ >= max_end) return false;  // No one needs another chunk.
+  // Never drift more than the bound ahead of the slowest consumer (bounds
+  // the pinned window). Under broker pressure the bound collapses to 1 —
+  // the minimum that still lets every consumer make progress — shedding the
+  // window's slack pages back to the pool instead of growing it.
+  uint64_t drift = options_.drift_chunks;
+  if (options_.broker != nullptr && drift > 1 &&
+      options_.broker->UnderPressure()) {
+    drift = 1;
+    if (head_seq_ >= min_next + drift &&
+        head_seq_ < min_next + options_.drift_chunks) {
+      ++stats_.drift_sheds;  // The full bound would have produced here.
+    }
+  }
+  return head_seq_ < min_next + drift;
 }
 
 void SharedScanGroup::ProduceOneLocked() {
@@ -96,6 +112,9 @@ void SharedScanGroup::ProduceOneLocked() {
   ++head_seq_;
   ++stats_.chunks_produced;
   stats_.pages_fetched += count;
+  if (mem_.valid()) {
+    mem_.Charge(static_cast<uint64_t>(count) * engine_->options().page_size);
+  }
 }
 
 void SharedScanGroup::PumpRunLocked() {
@@ -124,6 +143,10 @@ void SharedScanGroup::PumpLocked() {
 
 void SharedScanGroup::PopFreeChunksLocked() {
   while (!window_.empty() && window_.front()->readers == 0) {
+    if (mem_.valid()) {
+      mem_.Uncharge(static_cast<uint64_t>(window_.front()->num_pages) *
+                    engine_->options().page_size);
+    }
     window_.pop_front();  // Drops the guards: the pages become evictable.
     ++window_base_;
   }

@@ -46,6 +46,7 @@
 
 #include "access/smooth_scan.h"
 #include "exec/task_scheduler.h"
+#include "mem/memory_broker.h"
 #include "storage/engine.h"
 #include "storage/heap_file.h"
 
@@ -63,6 +64,11 @@ struct SharedScanOptions {
   /// data-plane scheduler). Null: the consumer needing the chunk produces it
   /// inline.
   TaskScheduler* scheduler = nullptr;
+  /// Memory broker each group reports its pinned window to (null =
+  /// ungoverned). Under global pressure the effective drift bound drops to 1
+  /// — the window sheds slack, but production never stops: correctness and
+  /// per-consumer results are untouched, only pacing tightens.
+  MemoryBroker* broker = nullptr;
 };
 
 /// One produced chunk of the circular scan: a page range held resident by
@@ -86,6 +92,7 @@ struct SharedScanGroupStats {
   uint32_t active_consumers = 0;
   uint64_t chunks_produced = 0;
   uint64_t pages_fetched = 0;  ///< Pages covered by production requests.
+  uint64_t drift_sheds = 0;    ///< Productions deferred by broker pressure.
 };
 
 class SharedScanGroup;
@@ -174,7 +181,7 @@ class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
   void Detach(uint32_t id);
 
   // All Locked members require mu_.
-  bool CanProduceLocked() const;
+  bool CanProduceLocked();
   void ProduceOneLocked();
   /// Produces while capacity allows, then wakes waiters.
   void PumpRunLocked();
@@ -190,6 +197,8 @@ class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
   const PageId num_pages_;
   const SharedScanOptions options_;
   const uint64_t num_chunks_;
+  /// Broker charge for the pinned chunk window (page bytes under guards).
+  MemoryBroker::Consumer mem_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< Signaled on production and detach.

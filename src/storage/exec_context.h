@@ -13,6 +13,9 @@
 
 namespace smoothscan {
 
+class BatchPool;
+class QueryMemoryScope;
+
 /// Borrowed pointers to the components an operator charges its work to.
 /// Copyable; the pointees must outlive every operator using the context.
 struct ExecContext {
@@ -20,6 +23,13 @@ struct ExecContext {
   BufferPool* pool = nullptr;
   CpuMeter* cpu = nullptr;
   SimDisk* disk = nullptr;
+  /// Recycled-batch pool for the operator's output batches (set by the
+  /// parallel scan driver for its kernels; null for serial operators, which
+  /// reuse the caller's carry batch and need no pool).
+  BatchPool* batch_pool = nullptr;
+  /// Per-query execution-memory account (quota + broker charging). Null:
+  /// ungoverned. Never affects simulated cost — accounting bytes, not time.
+  QueryMemoryScope* mem = nullptr;
 
   bool valid() const { return pool != nullptr; }
 };
@@ -56,6 +66,11 @@ class MorselContext {
 
   MorselContext(const MorselContext&) = delete;
   MorselContext& operator=(const MorselContext&) = delete;
+
+  /// Hands the morsel's kernels a batch pool / memory account (set once by
+  /// the parallel scan driver before workers start).
+  void SetBatchPool(BatchPool* pool) { ctx_.batch_pool = pool; }
+  void SetMemScope(QueryMemoryScope* mem) { ctx_.mem = mem; }
 
   const ExecContext& ctx() const { return ctx_; }
   SimDisk& disk() { return disk_; }
@@ -106,6 +121,9 @@ class QueryContext {
 
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Attaches the query's execution-memory account (see QueryMemoryScope).
+  void SetMemScope(QueryMemoryScope* mem) { ctx_.mem = mem; }
 
   const ExecContext& ctx() const { return ctx_; }
   SimDisk& disk() { return disk_; }

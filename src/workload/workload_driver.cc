@@ -300,6 +300,8 @@ WorkloadReport WorkloadDriver::Run(const WorkloadOptions& options) {
   for (const std::vector<QueryMetrics>& metrics : per_client) {
     for (const QueryMetrics& m : metrics) {
       report.total_sim_time += m.sim_time;
+      report.mem_quota_breaches += m.mem_quota_breaches;
+      report.mem_peak_bytes = std::max(report.mem_peak_bytes, m.mem_peak_bytes);
       report.per_query.push_back(m);
       if (m.write) {
         // Writes are tracked apart so the classic read-side metrics stay

@@ -137,6 +137,12 @@ struct WorkloadReport {
   /// probed first — by design, sharing trades per-query cost isolation for
   /// aggregate I/O.
   double total_sim_time = 0.0;
+  /// Summed per-query quota breaches (see QueryMetrics::mem_quota_breaches).
+  /// Breaches shed batch storage, they never fail a query; a nonzero count
+  /// under a quota is the memory governor visibly working.
+  uint64_t mem_quota_breaches = 0;
+  /// Largest single-query execution-memory peak observed.
+  uint64_t mem_peak_bytes = 0;
   /// Queries that ran each PathKind (indexed by its enum value).
   uint64_t path_counts[kNumPathKinds] = {};
   /// Every query's metrics (reads and writes), concatenated client by

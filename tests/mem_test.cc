@@ -1,0 +1,287 @@
+// Unit tests of the memory subsystem (src/mem/): the chunked bump Arena, the
+// recycled-TupleBatch BatchPool (warm reuse, quota shedding, the ablation
+// mode), the MemoryBroker's class accounting and pressure signal, the
+// per-query QueryMemoryScope, and the MorselSource fill-rate telemetry +
+// morsel-size hint that rides on the pooled emit path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "access/morsel_source.h"
+#include "mem/arena.h"
+#include "mem/batch_pool.h"
+#include "mem/memory_broker.h"
+
+namespace smoothscan {
+namespace {
+
+// ---------------------------------------------------------------- Arena
+
+TEST(ArenaTest, BumpAllocatesWithAlignment) {
+  Arena arena;
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 3u + 8u + 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena;
+  const size_t huge = Arena::kDefaultChunkBytes * 4;
+  void* p = arena.Allocate(huge, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), huge);
+  // The bump chunk stays usable for small allocations afterwards.
+  EXPECT_NE(arena.Allocate(16, 8), nullptr);
+}
+
+TEST(ArenaTest, NewPlacementConstructs) {
+  Arena arena;
+  std::vector<int>* v = arena.New<std::vector<int>>(5, 7);
+  ASSERT_EQ(v->size(), 5u);
+  EXPECT_EQ((*v)[4], 7);
+  v->~vector();  // Caller owns destruction; memory goes with the arena.
+}
+
+TEST(ArenaTest, ManySmallAllocationsSpanChunks) {
+  Arena arena;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_NE(arena.Allocate(16, 8), nullptr);
+  }
+  EXPECT_GT(arena.num_chunks(), 1u);
+}
+
+// ------------------------------------------------------------- BatchPool
+
+TEST(BatchPoolTest, RecyclesWarmBatches) {
+  BatchPool pool(BatchPoolOptions{});
+  {
+    PooledBatch b = pool.Acquire();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->capacity(), kDefaultBatchSize);
+    b->Append(Tuple{Value::Int64(1)});
+  }  // Released by the handle's destructor.
+  TupleBatch* first = nullptr;
+  {
+    PooledBatch b = pool.Acquire();
+    first = b.get();
+    EXPECT_TRUE(b->empty());  // Released clean.
+  }
+  {
+    PooledBatch b = pool.Acquire();
+    EXPECT_EQ(b.get(), first);  // Same header, recycled.
+  }
+  const BatchPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 3u);
+  EXPECT_EQ(stats.fresh_batches, 1u);
+  EXPECT_EQ(stats.reuses, 2u);
+  EXPECT_EQ(stats.cold_acquires(), 1u);
+  EXPECT_EQ(stats.sheds, 0u);
+}
+
+TEST(BatchPoolTest, ValueStorageSurvivesRecycling) {
+  BatchPoolOptions options;
+  options.batch_capacity = 8;
+  BatchPool pool(options);
+  {
+    PooledBatch b = pool.Acquire();
+    for (int i = 0; i < 8; ++i) {
+      b->Append(Tuple{Value::Int64(i), Value::Int64(i * 2)});
+    }
+  }
+  PooledBatch b = pool.Acquire();
+  // AppendSlot hands back the recycled slot with its Value storage intact —
+  // the zero-allocation decode contract.
+  Tuple* slot = b->AppendSlot();
+  EXPECT_EQ(slot->size(), 2u);
+}
+
+TEST(BatchPoolTest, AblationModeShedsEveryRelease) {
+  BatchPoolOptions options;
+  options.recycle = false;
+  BatchPool pool(options);
+  { PooledBatch b = pool.Acquire(); }
+  { PooledBatch b = pool.Acquire(); }
+  const BatchPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.reuses, 0u);  // Headers recycle, storage never does.
+  EXPECT_EQ(stats.sheds, 2u);
+  EXPECT_EQ(stats.cold_acquires(), 2u);
+}
+
+TEST(BatchPoolTest, ConcurrentHandlesGetDistinctBatches) {
+  BatchPool pool(BatchPoolOptions{});
+  PooledBatch a = pool.Acquire();
+  PooledBatch b = pool.Acquire();
+  EXPECT_NE(a.get(), b.get());
+  a.Release();
+  b.Release();
+  EXPECT_EQ(pool.stats().fresh_batches, 2u);
+}
+
+TEST(BatchPoolTest, ChargesAccountAndShedsOverQuota) {
+  QueryMemoryScope scope(nullptr, /*quota_bytes=*/1);  // Any charge breaches.
+  BatchPool pool(BatchPoolOptions{}, &scope);
+  { PooledBatch b = pool.Acquire(); }
+  // Release found the scope over quota (first release charged then shed, or
+  // shed outright) — either way the pool must not retain storage forever.
+  { PooledBatch b = pool.Acquire(); }
+  const BatchPoolStats stats = pool.stats();
+  EXPECT_GT(stats.sheds, 0u);
+  EXPECT_GT(scope.quota_breaches(), 0u);
+}
+
+TEST(BatchPoolTest, UnchargesOnDestruction) {
+  QueryMemoryScope scope;
+  {
+    BatchPool pool(BatchPoolOptions{}, &scope);
+    { PooledBatch b = pool.Acquire(); }
+    EXPECT_GT(scope.bytes(), 0u);  // One warm batch charged.
+  }
+  EXPECT_EQ(scope.bytes(), 0u);
+}
+
+// ---------------------------------------------------------- MemoryBroker
+
+TEST(MemoryBrokerTest, TracksClassesAndTotal) {
+  MemoryBroker broker;
+  MemoryBroker::Consumer pool =
+      broker.Register(MemoryClass::kBufferPool, "pool");
+  MemoryBroker::Consumer cache =
+      broker.Register(MemoryClass::kResultCache, "cache");
+  pool.Charge(1000);
+  cache.Charge(500);
+  EXPECT_EQ(broker.total_bytes(), 1500u);
+  EXPECT_EQ(broker.class_bytes(MemoryClass::kBufferPool), 1000u);
+  EXPECT_EQ(broker.class_bytes(MemoryClass::kResultCache), 500u);
+  cache.Uncharge(200);
+  EXPECT_EQ(broker.total_bytes(), 1300u);
+  EXPECT_EQ(cache.bytes(), 300u);
+
+  const auto snaps = broker.ConsumerSnapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[1].name, "cache");
+  EXPECT_EQ(snaps[1].peak_bytes, 500u);
+}
+
+TEST(MemoryBrokerTest, PressureFlagAndEpoch) {
+  MemoryBrokerOptions options;
+  options.global_budget_bytes = 1000;
+  MemoryBroker broker(options);
+  MemoryBroker::Consumer c = broker.Register(MemoryClass::kOther, "c");
+  EXPECT_FALSE(broker.UnderPressure());
+  c.Charge(1000);
+  EXPECT_FALSE(broker.UnderPressure());  // At budget, not past it.
+  EXPECT_EQ(broker.pressure_epoch(), 0u);
+  c.Charge(1);
+  EXPECT_TRUE(broker.UnderPressure());
+  EXPECT_EQ(broker.pressure_epoch(), 1u);
+  c.Uncharge(500);
+  EXPECT_FALSE(broker.UnderPressure());
+  c.Charge(600);  // Crosses again.
+  EXPECT_EQ(broker.pressure_epoch(), 2u);
+  EXPECT_EQ(broker.peak_total_bytes(), 1101u);
+}
+
+TEST(MemoryBrokerTest, UnregisterReturnsBytes) {
+  MemoryBroker broker;
+  {
+    MemoryBroker::Consumer c = broker.Register(MemoryClass::kOther, "c");
+    c.Charge(4096);
+    EXPECT_EQ(broker.total_bytes(), 4096u);
+  }
+  EXPECT_EQ(broker.total_bytes(), 0u);
+  // Ids recycle without mixing accounts.
+  MemoryBroker::Consumer d = broker.Register(MemoryClass::kOther, "d");
+  EXPECT_EQ(d.bytes(), 0u);
+  d.Charge(1);
+  EXPECT_EQ(broker.total_bytes(), 1u);
+}
+
+TEST(MemoryBrokerTest, MemoryClassNames) {
+  EXPECT_STREQ(MemoryClassName(MemoryClass::kBufferPool), "buffer_pool");
+  EXPECT_STREQ(MemoryClassName(MemoryClass::kExecBatches), "exec_batches");
+}
+
+// ------------------------------------------------------ QueryMemoryScope
+
+TEST(QueryMemoryScopeTest, CountsQuotaBreaches) {
+  QueryMemoryScope scope(nullptr, /*quota_bytes=*/100);
+  scope.Charge(60);
+  EXPECT_FALSE(scope.OverQuota());
+  EXPECT_EQ(scope.quota_breaches(), 0u);
+  scope.Charge(60);
+  EXPECT_TRUE(scope.OverQuota());
+  EXPECT_EQ(scope.quota_breaches(), 1u);
+  scope.Uncharge(60);
+  EXPECT_FALSE(scope.OverQuota());
+  EXPECT_EQ(scope.peak_bytes(), 120u);
+}
+
+TEST(QueryMemoryScopeTest, BrokerPressurePropagatesToOverQuota) {
+  MemoryBrokerOptions options;
+  options.global_budget_bytes = 100;
+  MemoryBroker broker(options);
+  MemoryBroker::Consumer other = broker.Register(MemoryClass::kOther, "hog");
+  QueryMemoryScope scope(&broker, /*quota_bytes=*/UINT64_MAX);
+  scope.Charge(10);
+  EXPECT_FALSE(scope.OverQuota());
+  other.Charge(200);  // Someone else exhausts the global budget.
+  EXPECT_TRUE(scope.OverQuota());  // The scope sheds on the hog's behalf.
+  other.Uncharge(200);
+  EXPECT_FALSE(scope.OverQuota());
+  // The scope's own charge flowed into the broker's kExecBatches class.
+  EXPECT_EQ(broker.class_bytes(MemoryClass::kExecBatches), 10u);
+  scope.Uncharge(10);
+}
+
+// ------------------------------------- MorselSource fill-rate telemetry
+
+TEST(MorselSourceTest, RecordsFillStats) {
+  MorselSource source(MorselSource::PageRanges(256, 64));
+  EXPECT_EQ(source.total_pages(), 256u);
+  source.RecordBatchFill(512, 1024);
+  source.RecordBatchFill(256, 1024);
+  const MorselFillStats fill = source.fill_stats();
+  EXPECT_EQ(fill.batches, 2u);
+  EXPECT_EQ(fill.tuples, 768u);
+  EXPECT_DOUBLE_EQ(fill.fill_rate(), 768.0 / 2048.0);
+}
+
+TEST(MorselSourceTest, SuggestMorselPagesScalesToFillRate) {
+  // 256 pages produced 2560 tuples => 10 tuples/page. Four full 1024-tuple
+  // batches per morsel need 409.6 pages => aligned down to 384 (multiple of
+  // the 32-page read-ahead window).
+  MorselSource source(MorselSource::PageRanges(256, 64));
+  for (int i = 0; i < 10; ++i) source.RecordBatchFill(256, 1024);
+  const uint32_t suggested = source.SuggestMorselPages(
+      /*current_morsel_pages=*/64, /*read_ahead_pages=*/32);
+  EXPECT_EQ(suggested, 384u);
+  EXPECT_EQ(suggested % 32, 0u);
+}
+
+TEST(MorselSourceTest, SuggestMorselPagesNeverBelowOneWindow) {
+  // Dense output: tiny morsels would suffice, but the suggestion never drops
+  // under one read-ahead window (extent boundaries must stay aligned).
+  MorselSource source(MorselSource::PageRanges(256, 64));
+  source.RecordBatchFill(1024, 1024);
+  for (int i = 0; i < 200; ++i) source.RecordBatchFill(1024, 1024);
+  EXPECT_EQ(source.SuggestMorselPages(64, 32), 32u);
+}
+
+TEST(MorselSourceTest, SuggestMorselPagesWithoutTelemetryIsIdentity) {
+  MorselSource source(MorselSource::PageRanges(256, 64));
+  EXPECT_EQ(source.SuggestMorselPages(64, 32), 64u);  // Nothing observed.
+  // Key-range morsels carry no page spans: also identity.
+  MorselSource keyed(MorselSource::KeyRanges({0, 10, 20}));
+  keyed.RecordBatchFill(100, 1024);
+  EXPECT_EQ(keyed.SuggestMorselPages(64, 32), 64u);
+}
+
+}  // namespace
+}  // namespace smoothscan
