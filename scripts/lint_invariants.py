@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Project-invariant linter over src/ — the static companion of the thread
+safety annotations (src/common/thread_annotations.h) and the latch-rank
+validator (src/common/latch_rank.h). Fails (exit 1) when a source line breaks
+one of the engine's structural invariants:
+
+  batch-allocation   No heap allocation of batch/Value storage (new /
+                     make_unique / make_shared of TupleBatch or Value)
+                     outside src/mem/ — kernels recycle through the
+                     BatchPool; a stray allocation reintroduces the
+                     steady-state tax PR 7 removed.
+  ctx-charging       No direct SimDisk charging from src/access/ or
+                     src/exec/ (engine_->disk() / engine()->disk()):
+                     operators charge their ExecContext stream, which is
+                     what keeps per-query cost bit-identical under
+                     concurrency.
+  raw-page-member    No retained raw `const Page&` / `Page*` data members:
+                     pages are held through PageGuard (pin-aware), never
+                     cached across an eviction boundary.
+  value-variant      No std::variant in the Value path (or anywhere in
+                     src/): Value is a hand-rolled tagged union precisely
+                     to keep the scan hot loop free of variant dispatch.
+  raw-mutex          No raw standard mutex primitives (std::mutex,
+                     lock_guard, unique_lock, condition_variable, ...)
+                     anywhere in src/ outside the latch wrapper: all
+                     latching goes through latch::Latch so the rank
+                     validator and the thread safety analysis see it.
+
+A deliberate exception is suppressed with `lint:allow(<rule>)` in a comment
+on the offending line or the line directly above it — greppable, per-rule,
+and visible in review.
+
+Usage:
+  lint_invariants.py [--root src] [rule ...]
+
+With no rule names, every rule runs. Exit 0 = clean.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+HEADER_EXTS = (".h",)
+SOURCE_EXTS = (".h", ".cc")
+
+# Files implementing the machinery the rules enforce (the latch wrapper may
+# hold the one std::mutex; PageGuard may hold the one raw Page pointer).
+WRAPPER_FILES = {
+    os.path.join("common", "latch_rank.h"),
+    os.path.join("common", "latch_rank.cc"),
+    os.path.join("common", "thread_annotations.h"),
+}
+
+RULES = [
+    {
+        "name": "batch-allocation",
+        "pattern": re.compile(
+            r"\bnew\s+(TupleBatch|Value)\b"
+            r"|\bmake_(?:unique|shared)\s*<\s*(?:TupleBatch|Value)\b"
+        ),
+        "message": "heap allocation of batch/Value storage outside src/mem/ "
+                   "(acquire through the BatchPool)",
+        "applies": lambda rel: not rel.startswith("mem" + os.sep),
+    },
+    {
+        "name": "ctx-charging",
+        "pattern": re.compile(r"\bengine(?:_|\(\))->disk\(\)"),
+        "message": "direct SimDisk charging bypassing ExecContext "
+                   "(charge ctx.disk instead)",
+        "applies": lambda rel: rel.startswith(("access" + os.sep,
+                                               "exec" + os.sep)),
+    },
+    {
+        "name": "raw-page-member",
+        "pattern": re.compile(
+            r"^\s*(?:const\s+)?Page\s*[*&]\s*\w+_\s*(?:=\s*\w+)?;"
+        ),
+        "message": "retained raw Page pointer/reference member "
+                   "(hold pages through PageGuard)",
+        "applies": lambda rel: rel.endswith(HEADER_EXTS),
+    },
+    {
+        "name": "value-variant",
+        "pattern": re.compile(r"std::variant\s*<|#include\s*<variant>"),
+        "message": "std::variant in the Value path (Value is a tagged "
+                   "union by design)",
+        "applies": lambda rel: True,
+    },
+    {
+        "name": "raw-mutex",
+        "pattern": re.compile(
+            r"std::(?:recursive_mutex|shared_mutex|timed_mutex|mutex"
+            r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+            r"|condition_variable(?!_any))\b"
+        ),
+        "message": "raw mutex primitive outside the latch wrapper "
+                   "(use latch::Latch / LatchGuard / UniqueLatch)",
+        "applies": lambda rel: rel not in WRAPPER_FILES,
+    },
+]
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+
+def strip_comment(line):
+    """Drops a trailing // comment (naive: good enough for this tree —
+    string literals containing '//' do not occur on guarded constructs)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def allowed_rules(line):
+    return set(ALLOW_RE.findall(line))
+
+
+def lint_file(rel, lines, rules):
+    """Returns a list of (rel, lineno, rule_name, message) violations."""
+    violations = []
+    pending_allows = set()  # From the comment block directly above.
+    for lineno, raw in enumerate(lines, start=1):
+        allows = allowed_rules(raw) | pending_allows
+        code = strip_comment(raw)
+        for rule in rules:
+            if not rule["applies"](rel):
+                continue
+            if rule["name"] in allows:
+                continue
+            if rule["pattern"].search(code):
+                violations.append((rel, lineno, rule["name"],
+                                   rule["message"]))
+        # An allow in a comment block covers the first code line after it.
+        if raw.lstrip().startswith("//"):
+            pending_allows |= allowed_rules(raw)
+        else:
+            pending_allows = set()
+    return violations
+
+
+def iter_source_files(root):
+    for dirpath, _, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(SOURCE_EXTS):
+                path = os.path.join(dirpath, filename)
+                yield path, os.path.relpath(path, root)
+
+
+def run(root, rule_names):
+    rules = [r for r in RULES if not rule_names or r["name"] in rule_names]
+    violations = []
+    for path, rel in iter_source_files(root):
+        with open(path, encoding="utf-8") as f:
+            violations.extend(lint_file(rel, f.read().splitlines(), rules))
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Project-invariant linter (see module docstring).")
+    parser.add_argument("--root", default="src",
+                        help="source tree to lint (default: src)")
+    parser.add_argument("rules", nargs="*",
+                        help="rules to run (default: all)")
+    args = parser.parse_args(argv)
+
+    known = {r["name"] for r in RULES}
+    for name in args.rules:
+        if name not in known:
+            parser.error(f"unknown rule: {name}")
+
+    violations = run(args.root, set(args.rules))
+    for rel, lineno, name, message in violations:
+        print(f"{os.path.join(args.root, rel)}:{lineno}: [{name}] {message}")
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

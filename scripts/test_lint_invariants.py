@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Self-test of the project-invariant linter: proves, with doctored source
+trees, that every rule fires on its violation shape, stays quiet on clean
+code, honors lint:allow suppressions (same-line and comment-block), and
+scopes rules to the right subtrees. Run directly (CI) or via ctest.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_invariants as lint  # noqa: E402
+
+
+class LintTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, text):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+    def lint(self, rules=()):
+        return lint.run(self.root, set(rules))
+
+    def names(self, rules=()):
+        return [name for (_, _, name, _) in self.lint(rules)]
+
+    def test_clean_tree_passes(self):
+        self.write("access/scan.cc", "void F() { ctx.disk->Access(1); }\n")
+        self.write("mem/pool.cc", "auto* b = new TupleBatch();\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_batch_allocation_fires_outside_mem(self):
+        self.write("access/scan.cc",
+                   "auto b = std::make_unique<TupleBatch>();\n"
+                   "Value* v = new Value();\n")
+        self.assertEqual(self.names(), ["batch-allocation",
+                                        "batch-allocation"])
+
+    def test_ctx_charging_fires_in_access_and_exec_only(self):
+        line = "engine_->disk().Access(ReadRequest{});\n"
+        self.write("access/scan.cc", line)
+        self.write("exec/op.cc", line)
+        self.write("engine/query_engine.cc", line)  # Out of rule scope.
+        self.assertEqual(self.names(), ["ctx-charging", "ctx-charging"])
+
+    def test_raw_page_member_fires_in_headers_only(self):
+        member = "  const Page* page_ = nullptr;\n"
+        self.write("access/scan.h", "class S {\n" + member + "};\n")
+        self.write("access/scan.cc", member)  # .cc members out of scope.
+        self.write("access/local.h",
+                   "inline void F(const Page& page) { (void)page; }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 1)
+        rel, lineno, name, _ = violations[0]
+        self.assertEqual((rel, lineno, name),
+                         (os.path.join("access", "scan.h"), 2,
+                          "raw-page-member"))
+
+    def test_value_variant_fires_everywhere_but_not_in_comments(self):
+        self.write("common/types.h",
+                   "// Value deliberately avoids std::variant<...>.\n"
+                   "#include <variant>\n")
+        self.assertEqual(self.names(), ["value-variant"])
+
+    def test_raw_mutex_fires_outside_wrapper(self):
+        self.write("sharing/group.h", "  std::mutex mu_;\n")
+        self.write("sharing/group.cc",
+                   "std::lock_guard<std::mutex> lock(mu_);\n")
+        self.write("common/latch_rank.h", "  std::mutex mu_;\n")  # Wrapper.
+        # condition_variable_any is the sanctioned cv type.
+        self.write("exec/sched.h", "  std::condition_variable_any cv_;\n")
+        names = self.names()
+        # One violation per offending line (the .cc line holds two mentions).
+        self.assertEqual(names.count("raw-mutex"), 2)
+        rels = [rel for (rel, _, _, _) in self.lint()]
+        self.assertNotIn(os.path.join("common", "latch_rank.h"), rels)
+
+    def test_same_line_allow_suppresses(self):
+        self.write("access/scan.cc",
+                   "engine_->disk().Access(r);  // lint:allow(ctx-charging)\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_comment_block_allow_covers_following_code_line(self):
+        self.write("access/scan.cc",
+                   "// lint:allow(ctx-charging) — spill I/O is communal\n"
+                   "// maintenance, like write-backs.\n"
+                   "engine_->disk().WriteExtent(f, 0, pages);\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_allow_does_not_leak_past_first_code_line(self):
+        self.write("access/scan.cc",
+                   "// lint:allow(ctx-charging)\n"
+                   "engine_->disk().WriteExtent(f, 0, pages);\n"
+                   "engine_->disk().ReadExtent(f, 0, pages);\n")
+        self.assertEqual(self.names(), ["ctx-charging"])
+
+    def test_allow_is_per_rule(self):
+        self.write("access/scan.cc",
+                   "// lint:allow(raw-mutex)\n"
+                   "engine_->disk().Access(r);\n")
+        self.assertEqual(self.names(), ["ctx-charging"])
+
+    def test_rule_filter_runs_subset(self):
+        self.write("access/scan.h", "  std::mutex mu_;\n")
+        self.write("access/scan.cc", "engine_->disk().Access(r);\n")
+        self.assertEqual(self.names(["raw-mutex"]), ["raw-mutex"])
+
+    def test_cli_exit_codes(self):
+        self.write("access/scan.cc", "int x = 0;\n")
+        self.assertEqual(lint.main(["--root", self.root]), 0)
+        self.write("access/bad.cc", "engine_->disk().Access(r);\n")
+        self.assertEqual(lint.main(["--root", self.root]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

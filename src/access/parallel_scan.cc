@@ -77,7 +77,7 @@ void ParallelScan::EmitTo(size_t slot, PooledBatch&& batch) {
   if (!batch || batch->empty()) return;
   source_->RecordBatchFill(batch->size(), batch->capacity());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     slots_[slot].batches.push_back(std::move(batch));
   }
   cv_.notify_one();
@@ -88,12 +88,17 @@ Status ParallelScan::OpenImpl() {
   // Finalize() repopulates stats_ with the settled cycle's totals; this cycle
   // starts from zero, as the stats() contract requires.
   stats_ = AccessPathStats();
-  slots_.clear();
+  {
+    // No workers are live here (Finalize waited on the group), but the slot
+    // state is latch-guarded, so reset it under the latch like everyone else.
+    latch::LatchGuard lock(mu_);
+    slots_.clear();
+    emit_slot_ = 0;
+  }
   contexts_.clear();
   morsel_stats_.clear();
   prolog_stats_ = AccessPathStats();
   group_.reset();
-  emit_slot_ = 0;
   pending_.Release();
   pending_pos_ = 0;
   finalized_ = false;
@@ -111,9 +116,12 @@ Status ParallelScan::OpenImpl() {
       },
       &prolog_stats_);
 
-  slots_.resize(1 + morsels.size());
-  for (PooledBatch& b : prolog) slots_[0].batches.push_back(std::move(b));
-  slots_[0].done = true;
+  {
+    latch::LatchGuard lock(mu_);
+    slots_.resize(1 + morsels.size());
+    for (PooledBatch& b : prolog) slots_[0].batches.push_back(std::move(b));
+    slots_[0].done = true;
+  }
 
   morsel_stats_.resize(morsels.size());
   contexts_.reserve(morsels.size());
@@ -140,7 +148,7 @@ Status ParallelScan::OpenImpl() {
             m, mc.ctx(),
             [this, &m](PooledBatch&& b) { EmitTo(m.index + 1, std::move(b)); });
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          latch::LatchGuard lock(mu_);
           slots_[m.index + 1].done = true;
         }
         cv_.notify_all();
@@ -176,7 +184,7 @@ bool ParallelScan::NextBatchImpl(TupleBatch* out) {
       continue;
     }
     // Pull the next batch in morsel order, waiting on the producers.
-    std::unique_lock<std::mutex> lock(mu_);
+    latch::UniqueLatch lock(mu_);
     for (;;) {
       if (emit_slot_ >= slots_.size()) {
         lock.unlock();
@@ -208,8 +216,12 @@ void ParallelScan::Finalize() {
   // Merge in deterministic order: prolog stream first, then morsel streams by
   // index. This fixes the floating-point accumulation order, so engine-level
   // simulated time is bit-identical at any DOP.
+  // lint:allow(ctx-charging) — this IS the settle step: the per-morsel
+  // context streams merge into the engine stream (or the query's private
+  // account) exactly once, in deterministic order.
+  SimDisk* const engine_disk = &engine_->disk();
   SimDisk* disk = options_.account_disk != nullptr ? options_.account_disk
-                                                   : &engine_->disk();
+                                                   : engine_disk;
   CpuMeter* cpu = options_.account_cpu != nullptr ? options_.account_cpu
                                                   : &engine_->cpu();
   stats_ = AccessPathStats();
@@ -229,11 +241,14 @@ void ParallelScan::CloseImpl() {
   // Undrained batches (a consumer that Closed mid-stream) return to the pool
   // warm with the slots; the pool itself outlives the cycle, so a re-Open
   // starts with recycled storage instead of a cold heap.
-  slots_.clear();
-  slots_.shrink_to_fit();
+  {
+    latch::LatchGuard lock(mu_);
+    slots_.clear();
+    slots_.shrink_to_fit();
+    emit_slot_ = 0;
+  }
   pending_.Release();
   pending_pos_ = 0;
-  emit_slot_ = 0;
   source_.reset();
 }
 

@@ -39,7 +39,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "access/access_path.h"
@@ -48,6 +47,8 @@
 #include "access/smooth_scan.h"
 #include "access/sort_scan.h"
 #include "access/switch_scan.h"
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "exec/task_scheduler.h"
 #include "mem/batch_pool.h"
 #include "storage/exec_context.h"
@@ -150,7 +151,7 @@ class ParallelScan : public AccessPath {
   };
 
   TaskScheduler* scheduler();
-  void EmitTo(size_t slot, PooledBatch&& batch);
+  void EmitTo(size_t slot, PooledBatch&& batch) EXCLUDES(mu_);
   /// Waits for the workers and merges all stream accounting into the engine
   /// (planning first, then morsels in index order). Idempotent per cycle.
   void Finalize();
@@ -170,10 +171,15 @@ class ParallelScan : public AccessPath {
   std::shared_ptr<TaskScheduler::TaskGroup> group_;
   bool finalized_ = true;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Slot> slots_;
-  size_t emit_slot_ = 0;
+  /// Clearing a drained slot under this latch runs PooledBatch destructors,
+  /// which release into the BatchPool (and possibly the broker) — hence its
+  /// rank above both.
+  latch::Latch mu_{latch::LatchRank::kParallelScan, "ParallelScan::mu_"};
+  std::condition_variable_any cv_;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  size_t emit_slot_ GUARDED_BY(mu_) = 0;
+  // Consumer-thread-only staging of the batch being drained; never touched by
+  // workers, so deliberately outside the latch.
   PooledBatch pending_;
   size_t pending_pos_ = 0;
 };

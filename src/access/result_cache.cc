@@ -77,6 +77,8 @@ void ResultCache::SpillPartition(size_t p) {
     spill_file_created_ = true;
   }
   const uint32_t pages = SpillPages(part.tuples.size());
+  // lint:allow(ctx-charging) — spill I/O is communal maintenance on the
+  // engine's shared stream (like write-backs), not a query's scan charge.
   engine_->disk().WriteExtent(spill_file_, next_spill_page_, pages);
   next_spill_page_ += pages;
   part.spilled = true;  // Contents retained in memory; I/O is simulated.
@@ -115,6 +117,8 @@ void ResultCache::Restore(size_t p) {
   Partition& part = partitions_[p];
   SMOOTHSCAN_CHECK(part.spilled);
   const uint32_t pages = SpillPages(part.tuples.size());
+  // lint:allow(ctx-charging) — restore I/O lands on the shared stream, the
+  // mirror of the spill charge above.
   engine_->disk().ReadExtent(spill_file_, 0, pages);
   part.spilled = false;
   resident_size_ += part.tuples.size();

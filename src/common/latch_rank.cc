@@ -1,0 +1,103 @@
+#include "common/latch_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smoothscan {
+namespace latch {
+
+namespace {
+
+// -1 = not yet initialized from build type / environment.
+std::atomic<int> g_checks{-1};
+
+int DefaultChecksState() {
+  if (const char* env = std::getenv("SMOOTHSCAN_LATCH_CHECKS")) {
+    return (env[0] != '\0' && env[0] != '0') ? 1 : 0;
+  }
+#ifdef NDEBUG
+  return 0;
+#else
+  return 1;
+#endif
+}
+
+// Held-latch stack. Ranks are strictly decreasing from bottom to top (each
+// push checks against the current top), so the top is always the minimum
+// held rank. 32 is far beyond the engine's deepest real nesting (~5).
+constexpr int kMaxHeld = 32;
+thread_local const Latch* tls_held[kMaxHeld];
+thread_local int tls_depth = 0;
+
+[[noreturn]] void Die(const char* what, const Latch* l) {
+  std::fprintf(stderr, "latch hierarchy violation: %s acquiring \"%s\" (rank %d)\n",
+               what, l->name(), static_cast<int>(l->rank()));
+  std::fprintf(stderr, "  held by this thread (outermost first):\n");
+  for (int i = 0; i < tls_depth; ++i) {
+    std::fprintf(stderr, "    \"%s\" (rank %d)\n", tls_held[i]->name(),
+                 static_cast<int>(tls_held[i]->rank()));
+  }
+  std::abort();
+}
+
+}  // namespace
+
+bool ChecksEnabled() {
+  int s = g_checks.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = DefaultChecksState();
+    g_checks.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void SetChecksEnabled(bool enabled) {
+  g_checks.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void CheckAndPush(const Latch* l) {
+  if (!ChecksEnabled()) return;
+  if (static_cast<int>(l->rank()) <= 0) Die("unranked latch", l);
+  if (tls_depth >= kMaxHeld) Die("held-latch stack overflow", l);
+  if (tls_depth > 0) {
+    const Latch* top = tls_held[tls_depth - 1];
+    if (top == l) Die("recursive acquisition of", l);
+    if (l->rank() >= top->rank()) {
+      // Same rank is also an inversion: no latch class in the engine nests
+      // with itself (pool shards touch the mirror pool only after releasing
+      // their own latch).
+      std::fprintf(stderr,
+                   "latch hierarchy violation: rank inversion — \"%s\" (rank "
+                   "%d) acquired while holding \"%s\" (rank %d)\n",
+                   l->name(), static_cast<int>(l->rank()), top->name(),
+                   static_cast<int>(top->rank()));
+      Die("rank inversion", l);
+    }
+    // Recursive acquisition deeper in the stack would already have tripped
+    // the rank check (equal ranks are rejected), but catch aliased latches
+    // explicitly for a clearer message.
+    for (int i = 0; i < tls_depth - 1; ++i) {
+      if (tls_held[i] == l) Die("recursive acquisition of", l);
+    }
+  }
+  tls_held[tls_depth++] = l;
+}
+
+void Pop(const Latch* l) {
+  // Releases are near-LIFO (RAII guards), so scan from the top. A latch
+  // acquired while checking was disabled is simply not on the stack.
+  for (int i = tls_depth - 1; i >= 0; --i) {
+    if (tls_held[i] == l) {
+      for (int j = i; j < tls_depth - 1; ++j) tls_held[j] = tls_held[j + 1];
+      --tls_depth;
+      return;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace latch
+}  // namespace smoothscan

@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis annotation macros (no-ops on GCC and MSVC).
+//
+// These turn the latch discipline that used to live in comments ("caller
+// must hold the shard latch") into compiler-checked contracts: the clang CI
+// leg builds with -Wthread-safety -Werror=thread-safety, so a guarded member
+// touched without its latch, or a *Locked() helper called without the
+// REQUIRES'd capability, fails the build instead of waiting for a lucky
+// TSan schedule.
+//
+// Vocabulary (mirrors the upstream clang documentation):
+//   CAPABILITY(x)       class is a capability (our latch::Latch wrapper)
+//   SCOPED_CAPABILITY   RAII class that acquires on construction
+//   GUARDED_BY(x)       data member may only be touched while x is held
+//   REQUIRES(...)       function may only be called with the latch(es) held
+//   ACQUIRE/RELEASE     function acquires / releases the latch
+//   TRY_ACQUIRE(b, ...) function acquires iff it returns b
+//   EXCLUDES(...)       function must NOT be called with the latch held
+//
+// Only `latch::Latch` (see latch_rank.h) carries these attributes —
+// std::mutex on libstdc++ is unannotated, so raw std::mutex use in our
+// headers is additionally rejected by scripts/lint_invariants.py.
+
+#ifndef SMOOTHSCAN_COMMON_THREAD_ANNOTATIONS_H_
+#define SMOOTHSCAN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SMOOTHSCAN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMOOTHSCAN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) SMOOTHSCAN_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY SMOOTHSCAN_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) SMOOTHSCAN_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) SMOOTHSCAN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  SMOOTHSCAN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) SMOOTHSCAN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) SMOOTHSCAN_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) SMOOTHSCAN_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SMOOTHSCAN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SMOOTHSCAN_COMMON_THREAD_ANNOTATIONS_H_

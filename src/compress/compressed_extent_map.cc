@@ -23,7 +23,7 @@ CompressedExtentRef CompressedExtentMap::Enable(const HeapFile* heap,
     return nullptr;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto [it, inserted] = tables_.try_emplace(heap->file_id());
   TableEntry& entry = it->second;
   if (inserted) {
@@ -45,19 +45,19 @@ CompressedExtentRef CompressedExtentMap::Enable(const HeapFile* heap,
 }
 
 CompressedExtentRef CompressedExtentMap::Lookup(FileId table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto it = tables_.find(table);
   return it == tables_.end() ? nullptr : it->second.current;
 }
 
 void CompressedExtentMap::Invalidate(FileId table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto it = tables_.find(table);
   if (it != tables_.end()) it->second.current = nullptr;
 }
 
 void CompressedExtentMap::OnPublish(FileId table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return;
   TableEntry& entry = it->second;
@@ -70,7 +70,7 @@ void CompressedExtentMap::OnPublish(FileId table) {
 }
 
 CompressedExtentRef CompressedExtentMap::Rebuild(FileId table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return nullptr;
   TableEntry& entry = it->second;

@@ -31,10 +31,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "compress/compressed_page.h"
 #include "storage/heap_file.h"
 
@@ -95,26 +96,26 @@ class CompressedExtentMap {
   /// `auto_rebuild` controls whether OnPublish() folds a fresh extent or
   /// leaves the table invalidated until the next explicit Rebuild().
   CompressedExtentRef Enable(const HeapFile* heap, int key_column,
-                             bool auto_rebuild = true);
+                             bool auto_rebuild = true) EXCLUDES(mu_);
 
   /// Current extent of `table`, or null (not enabled / invalidated).
-  CompressedExtentRef Lookup(FileId table) const;
+  CompressedExtentRef Lookup(FileId table) const EXCLUDES(mu_);
 
   /// Drops `table`'s current extent; Lookup returns null until a rebuild.
-  void Invalidate(FileId table);
+  void Invalidate(FileId table) EXCLUDES(mu_);
 
   /// Publish notification for `table`: invalidates, then (when auto_rebuild)
   /// folds the heap's published content into a fresh sibling extent, charging
   /// the engine stream one extent write over the new pages. Evicts the old
   /// sibling frames from the engine pool first — aborts if any is pinned.
-  void OnPublish(FileId table);
+  void OnPublish(FileId table) EXCLUDES(mu_);
 
   /// Explicit rebuild (same as the auto path, without requiring a publish).
-  CompressedExtentRef Rebuild(FileId table);
+  CompressedExtentRef Rebuild(FileId table) EXCLUDES(mu_);
 
   /// Rebuilds performed (tests / diagnostics).
-  uint64_t rebuilds() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rebuilds() const EXCLUDES(mu_) {
+    latch::LatchGuard lock(mu_);
     return rebuilds_;
   }
 
@@ -128,14 +129,19 @@ class CompressedExtentMap {
     CompressedExtentRef current;  ///< Null while invalidated.
   };
 
-  /// Folds the heap into the (already truncated) sibling file. Called with
-  /// `mu_` held; storage walk only, so holding the latch is fine.
-  CompressedExtentRef BuildLocked(TableEntry* entry, bool charge_write);
+  /// Folds the heap into the (already truncated) sibling file. Storage walk
+  /// only, so holding the latch is fine.
+  CompressedExtentRef BuildLocked(TableEntry* entry, bool charge_write)
+      REQUIRES(mu_);
 
   Engine* engine_;
-  mutable std::mutex mu_;
-  std::unordered_map<FileId, TableEntry> tables_;
-  uint64_t rebuilds_ = 0;
+  /// Held across rebuilds, which evict sibling frames (pool shards), truncate
+  /// the sibling (storage) and charge the engine stream (disk) — hence its
+  /// rank above all three.
+  mutable latch::Latch mu_{latch::LatchRank::kCompressedMap,
+                           "CompressedExtentMap::mu_"};
+  std::unordered_map<FileId, TableEntry> tables_ GUARDED_BY(mu_);
+  uint64_t rebuilds_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace smoothscan

@@ -81,7 +81,7 @@ QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
 
 QueryEngine::~QueryEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     shutdown_ = true;
   }
   cv_submit_.notify_all();
@@ -107,7 +107,7 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
   p.submitted = std::chrono::steady_clock::now();
   QueryId id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     id = next_id_++;
     p.id = id;
     records_[id];  // Reserve the completion slot.
@@ -119,40 +119,40 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
 }
 
 QueryResult QueryEngine::Wait(QueryId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  latch::UniqueLatch lock(mu_);
   auto it = records_.find(id);
   SMOOTHSCAN_CHECK(it != records_.end());
   // The reference survives rehashing from concurrent Submits (iterators
   // would not).
   Record& rec = it->second;
-  cv_done_.wait(lock, [&] { return rec.done; });
+  while (!rec.done) cv_done_.wait(lock);
   QueryResult result = std::move(rec.result);
   records_.erase(id);
   return result;
 }
 
 void QueryEngine::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return outstanding_ == 0; });
+  latch::UniqueLatch lock(mu_);
+  while (outstanding_ != 0) cv_done_.wait(lock);
 }
 
 size_t QueryEngine::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return lanes_[0].size() + lanes_[1].size();
 }
 
 uint32_t QueryEngine::admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return admitted_now_;
 }
 
 uint32_t QueryEngine::peak_admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return peak_admitted_;
 }
 
 uint64_t QueryEngine::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return completed_;
 }
 
@@ -161,10 +161,12 @@ void QueryEngine::ExecutorLoop() {
     Pending p;
     std::chrono::steady_clock::time_point admit_time;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_submit_.wait(lock, [&] {
-        return shutdown_ || !lanes_[0].empty() || !lanes_[1].empty();
-      });
+      latch::UniqueLatch lock(mu_);
+      // Explicit loop: the guarded lane/shutdown state is not visible to the
+      // analysis inside a predicate lambda.
+      while (!shutdown_ && lanes_[0].empty() && lanes_[1].empty()) {
+        cv_submit_.wait(lock);
+      }
       // Drain remaining queries before honoring shutdown, like the task
       // scheduler does for its deques.
       if (lanes_[0].empty() && lanes_[1].empty()) return;
@@ -205,7 +207,7 @@ void QueryEngine::ExecutorLoop() {
     result.metrics.latency_ms = MsBetween(p.submitted, end);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      latch::LatchGuard lock(mu_);
       --admitted_now_;
       ++completed_;
       --outstanding_;
@@ -370,7 +372,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
         options_.sharing, spec.index->heap(), spec.predicate);
     path->SetExecContext(&qctx.ctx());
     // Visible to the share-aware batch pop while this scan is in flight.
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     ++running_shared_[table];
   } else if (kind == PathKind::kCompressedScan) {
     if (spec.dop >= 1) {
@@ -392,7 +394,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
                                               spec.predicate);
       path->SetExecContext(&qctx.ctx());
       shared_run = true;
-      std::lock_guard<std::mutex> lock(mu_);
+      latch::LatchGuard lock(mu_);
       ++running_shared_[table];
     }
     if (path == nullptr) {
@@ -443,7 +445,7 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     path->Close();
   }
   if (shared_run) {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     auto it = running_shared_.find(table);
     if (--it->second == 0) running_shared_.erase(it);
   }

@@ -33,11 +33,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "compress/compressed_extent_map.h"
 #include "mem/memory_broker.h"
 #include "plan/access_path_chooser.h"
@@ -188,22 +189,23 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Enqueues the query; returns immediately with its completion handle.
-  QueryId Submit(QuerySpec spec);
+  QueryId Submit(QuerySpec spec) EXCLUDES(mu_);
 
   /// Blocks until query `id` completes and takes its result (each id can be
   /// waited on exactly once).
-  QueryResult Wait(QueryId id);
+  QueryResult Wait(QueryId id) EXCLUDES(mu_);
 
   /// Blocks until every query submitted so far has completed. Completion
   /// records are reclaimed by Wait() alone — a fire-and-forget caller that
   /// only ever Drain()s should still Wait() each id, or records accumulate.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   // Observability (values are instantaneous snapshots).
-  size_t queue_depth() const;
-  uint32_t admitted() const;      ///< Queries executing right now.
-  uint32_t peak_admitted() const; ///< High-water mark; never exceeds the cap.
-  uint64_t completed() const;
+  size_t queue_depth() const EXCLUDES(mu_);
+  uint32_t admitted() const EXCLUDES(mu_);  ///< Queries executing right now.
+  /// High-water mark; never exceeds the cap.
+  uint32_t peak_admitted() const EXCLUDES(mu_);
+  uint64_t completed() const EXCLUDES(mu_);
   const QueryEngineOptions& options() const { return options_; }
 
  private:
@@ -225,8 +227,8 @@ class QueryEngine {
     bool done = false;
   };
 
-  void ExecutorLoop();
-  QueryResult Execute(QuerySpec spec);
+  void ExecutorLoop() EXCLUDES(mu_);
+  QueryResult Execute(QuerySpec spec) EXCLUDES(mu_);
   QueryResult ExecuteWrite(QuerySpec spec);
   /// Whether the query will resolve to a shared scan (Pending::share_eligible
   /// — runs the chooser for use_chooser specs, so a selective query that
@@ -246,20 +248,25 @@ class QueryEngine {
   /// Registry publish-hook registration (0 = none wired).
   uint64_t publish_hook_token_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_submit_;  ///< Executors wait for work here.
-  std::condition_variable cv_done_;    ///< Wait()/Drain() wait here.
-  std::deque<Pending> lanes_[2];       ///< Indexed by QueryLane.
-  std::unordered_map<QueryId, Record> records_;
-  QueryId next_id_ = 1;
+  /// Control-plane latch (admission queue + completion records). Top of the
+  /// hierarchy: nothing below it (executors release it before running a
+  /// query, which acquires every other latch in the engine).
+  mutable latch::Latch mu_{latch::LatchRank::kQueryEngine,
+                           "QueryEngine::mu_"};
+  std::condition_variable_any cv_submit_;  ///< Executors wait for work here.
+  std::condition_variable_any cv_done_;    ///< Wait()/Drain() wait here.
+  std::deque<Pending> lanes_[2] GUARDED_BY(mu_);  ///< Indexed by QueryLane.
+  std::unordered_map<QueryId, Record> records_ GUARDED_BY(mu_);
+  QueryId next_id_ GUARDED_BY(mu_) = 1;
   /// Tables with a shared scan executing right now (value = running count);
   /// the share-aware batch pop admits matching queued queries first.
-  std::unordered_map<FileId, uint32_t> running_shared_;
-  bool shutdown_ = false;
-  uint32_t admitted_now_ = 0;
-  uint32_t peak_admitted_ = 0;
-  uint64_t outstanding_ = 0;  ///< Submitted, not yet completed.
-  uint64_t completed_ = 0;
+  std::unordered_map<FileId, uint32_t> running_shared_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  uint32_t admitted_now_ GUARDED_BY(mu_) = 0;
+  uint32_t peak_admitted_ GUARDED_BY(mu_) = 0;
+  /// Submitted, not yet completed.
+  uint64_t outstanding_ GUARDED_BY(mu_) = 0;
+  uint64_t completed_ GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> executors_;
 };

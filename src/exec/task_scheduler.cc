@@ -9,14 +9,14 @@ thread_local int t_worker_id = -1;
 }  // namespace
 
 void TaskScheduler::TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  latch::UniqueLatch lock(mu_);
+  while (remaining_.load(std::memory_order_acquire) != 0) cv_.wait(lock);
 }
 
 void TaskScheduler::TaskGroup::Finish() {
   // The lock orders the decrement against a concurrent Wait() so the final
   // notify cannot be missed.
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     cv_.notify_all();
   }
@@ -38,7 +38,7 @@ TaskScheduler::TaskScheduler(uint32_t num_workers, uint64_t rng_seed) {
 
 TaskScheduler::~TaskScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -50,7 +50,7 @@ std::shared_ptr<TaskScheduler::TaskGroup> TaskScheduler::Submit(
   auto group = std::shared_ptr<TaskGroup>(new TaskGroup(tasks.size()));
   if (tasks.empty()) return group;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     for (auto& task : tasks) {
       workers_[next_deal_]->tasks.emplace_back(group, std::move(task));
       next_deal_ = (next_deal_ + 1) % workers_.size();
@@ -61,7 +61,7 @@ std::shared_ptr<TaskScheduler::TaskGroup> TaskScheduler::Submit(
 }
 
 size_t TaskScheduler::pending_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   size_t n = 0;
   for (const auto& w : workers_) n += w->tasks.size();
   return n;
@@ -101,10 +101,12 @@ void TaskScheduler::WorkerLoop(uint32_t id) {
   while (true) {
     std::pair<std::shared_ptr<TaskGroup>, Task> item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      latch::UniqueLatch lock(mu_);
       // Drain remaining work before honoring shutdown, so a group submitted
-      // just before destruction still completes.
-      cv_.wait(lock, [&] { return TryTake(id, &item) || shutdown_; });
+      // just before destruction still completes. (An explicit wait loop
+      // rather than a predicate lambda: TryTake REQUIRES(mu_), and the
+      // analysis does not propagate the held latch into lambdas.)
+      while (!TryTake(id, &item) && !shutdown_) cv_.wait(lock);
       if (item.second == nullptr) return;  // Shutdown with empty deques.
     }
     item.second();

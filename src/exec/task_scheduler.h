@@ -20,11 +20,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/latch_rank.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace smoothscan {
 
@@ -36,17 +37,19 @@ class TaskScheduler {
   class TaskGroup {
    public:
     /// Blocks until every task of the group has finished.
-    void Wait();
+    void Wait() EXCLUDES(mu_);
     bool Done() const { return remaining_.load(std::memory_order_acquire) == 0; }
 
    private:
     friend class TaskScheduler;
     explicit TaskGroup(size_t n) : remaining_(n) {}
-    void Finish();
+    void Finish() EXCLUDES(mu_);
 
     std::atomic<size_t> remaining_;
-    std::mutex mu_;
-    std::condition_variable cv_;
+    /// Leaf latch: held only around the final-notify ordering, with nothing
+    /// else acquired under it.
+    latch::Latch mu_{latch::LatchRank::kTaskGroup, "TaskGroup::mu_"};
+    std::condition_variable_any cv_;
   };
 
   /// Spawns `num_workers` threads (at least 1). `rng_seed` roots the
@@ -62,7 +65,7 @@ class TaskScheduler {
 
   /// Enqueues `tasks` as one group, dealt round-robin across worker deques.
   /// Returns immediately; wait on the group for completion.
-  std::shared_ptr<TaskGroup> Submit(std::vector<Task> tasks);
+  std::shared_ptr<TaskGroup> Submit(std::vector<Task> tasks) EXCLUDES(mu_);
 
   /// The deterministic random stream of worker `worker_id` (call only from
   /// that worker's tasks, or before/after the group runs).
@@ -78,7 +81,7 @@ class TaskScheduler {
   /// Tasks currently queued across all deques, excluding those already
   /// running (observability for admission-control and bench reporting; the
   /// value is stale the moment it is read).
-  size_t pending_tasks() const;
+  size_t pending_tasks() const EXCLUDES(mu_);
 
  private:
   struct Worker {
@@ -89,16 +92,21 @@ class TaskScheduler {
 
   void WorkerLoop(uint32_t id);
   /// Pops own work from the front, or steals from the back of a sibling.
-  bool TryTake(uint32_t id, std::pair<std::shared_ptr<TaskGroup>, Task>* out);
+  bool TryTake(uint32_t id, std::pair<std::shared_ptr<TaskGroup>, Task>* out)
+      REQUIRES(mu_);
 
   // One latch guards all deques: contention is per-task (morsels are
   // thousands of tuples each), far off any hot path. The stealing *policy*
   // stays per-deque; the latch is an implementation shortcut.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable latch::Latch mu_{latch::LatchRank::kScheduler,
+                           "TaskScheduler::mu_"};
+  std::condition_variable_any cv_;
+  /// The vector itself is fixed after construction (worker_rng reads it
+  /// latch-free under the "only that worker's tasks" contract); the `tasks`
+  /// deques inside are guarded by `mu_` — accessed only via TryTake/Submit.
   std::vector<std::unique_ptr<Worker>> workers_;
-  size_t next_deal_ = 0;
-  bool shutdown_ = false;
+  size_t next_deal_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> steals_{0};
 };
 

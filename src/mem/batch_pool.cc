@@ -27,7 +27,7 @@ BatchPool::BatchPool(BatchPoolOptions options, MemoryAccount* account)
 }
 
 BatchPool::~BatchPool() {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   // Every batch must be back home; a PooledBatch outliving its pool would
   // release into freed state.
   SMOOTHSCAN_CHECK(free_.size() == slots_.size());
@@ -38,7 +38,7 @@ BatchPool::~BatchPool() {
 }
 
 PooledBatch BatchPool::Acquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   ++stats_.acquires;
   if (!free_.empty()) {
     const size_t index = free_.back();
@@ -56,7 +56,7 @@ PooledBatch BatchPool::Acquire() {
 }
 
 void BatchPool::Release(size_t slot_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   ++stats_.releases;
   Slot& slot = slots_[slot_index];
   slot.batch->Clear();
@@ -81,7 +81,7 @@ void BatchPool::Release(size_t slot_index) {
 }
 
 BatchPoolStats BatchPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return stats_;
 }
 

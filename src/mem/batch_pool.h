@@ -22,10 +22,11 @@
 #define SMOOTHSCAN_MEM_BATCH_POOL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "common/tuple_batch.h"
 #include "mem/arena.h"
 #include "mem/memory_broker.h"
@@ -113,12 +114,12 @@ class BatchPool {
 
   /// Hands out an empty batch of `batch_capacity`, warm when the free list
   /// has one. Thread-safe.
-  PooledBatch Acquire();
+  PooledBatch Acquire() EXCLUDES(mu_);
 
   size_t batch_capacity() const { return options_.batch_capacity; }
   /// The per-warm-batch charge (resolved from the hint).
   uint64_t batch_bytes() const { return batch_bytes_; }
-  BatchPoolStats stats() const;
+  BatchPoolStats stats() const EXCLUDES(mu_);
   MemoryAccount* account() const { return account_; }
 
  private:
@@ -130,17 +131,19 @@ class BatchPool {
     bool charged = false;  ///< Currently charged to the account.
   };
 
-  void Release(size_t slot_index);
+  void Release(size_t slot_index) EXCLUDES(mu_);
 
   const BatchPoolOptions options_;
   MemoryAccount* const account_;
   uint64_t batch_bytes_ = 0;
 
-  mutable std::mutex mu_;
-  Arena arena_;
-  std::vector<Slot> slots_;
-  std::vector<size_t> free_;
-  BatchPoolStats stats_;
+  /// Ranked just above the broker: Release() charges/uncharges the account
+  /// scope (which forwards into MemoryBroker::mu_) while holding this latch.
+  mutable latch::Latch mu_{latch::LatchRank::kBatchPool, "BatchPool::mu_"};
+  Arena arena_ GUARDED_BY(mu_);
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  std::vector<size_t> free_ GUARDED_BY(mu_);
+  BatchPoolStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace smoothscan

@@ -20,9 +20,21 @@ const char* MemoryClassName(MemoryClass cls) {
   return "?";
 }
 
+void MemoryBroker::UpdatePressureLocked(uint64_t before, uint64_t after) {
+  if (!pressured_.load(std::memory_order_relaxed)) {
+    if (before <= options_.global_budget_bytes &&
+        after > options_.global_budget_bytes) {
+      pressured_.store(true, std::memory_order_relaxed);
+      pressure_epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (after <= low_water_) {
+    pressured_.store(false, std::memory_order_relaxed);
+  }
+}
+
 MemoryBroker::Consumer MemoryBroker::Register(MemoryClass cls,
                                               std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   size_t id;
   if (!free_ids_.empty()) {
     id = free_ids_.back();
@@ -44,7 +56,7 @@ MemoryBroker::Consumer MemoryBroker::Register(MemoryClass cls,
 
 void MemoryBroker::Charge(size_t id, uint64_t bytes) {
   if (bytes == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   Entry& e = entries_[id];
   SMOOTHSCAN_CHECK(e.live);
   e.bytes += bytes;
@@ -54,51 +66,52 @@ void MemoryBroker::Charge(size_t id, uint64_t bytes) {
   const uint64_t after = before + bytes;
   total_.store(after, std::memory_order_relaxed);
   peak_total_ = std::max(peak_total_, after);
-  if (before <= options_.global_budget_bytes &&
-      after > options_.global_budget_bytes) {
-    pressure_epoch_.fetch_add(1, std::memory_order_relaxed);
-  }
+  UpdatePressureLocked(before, after);
 }
 
 void MemoryBroker::Uncharge(size_t id, uint64_t bytes) {
   if (bytes == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   Entry& e = entries_[id];
   SMOOTHSCAN_CHECK(e.live && e.bytes >= bytes);
   e.bytes -= bytes;
   class_bytes_[static_cast<size_t>(e.cls)] -= bytes;
-  total_.store(total_.load(std::memory_order_relaxed) - bytes,
-               std::memory_order_relaxed);
+  const uint64_t before = total_.load(std::memory_order_relaxed);
+  const uint64_t after = before - bytes;
+  total_.store(after, std::memory_order_relaxed);
+  UpdatePressureLocked(before, after);
 }
 
 void MemoryBroker::Unregister(size_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   Entry& e = entries_[id];
   SMOOTHSCAN_CHECK(e.live);
   class_bytes_[static_cast<size_t>(e.cls)] -= e.bytes;
-  total_.store(total_.load(std::memory_order_relaxed) - e.bytes,
-               std::memory_order_relaxed);
+  const uint64_t before = total_.load(std::memory_order_relaxed);
+  const uint64_t after = before - e.bytes;
+  total_.store(after, std::memory_order_relaxed);
+  UpdatePressureLocked(before, after);
   e = Entry();
   free_ids_.push_back(id);
 }
 
 uint64_t MemoryBroker::ConsumerBytes(size_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return entries_[id].bytes;
 }
 
 uint64_t MemoryBroker::peak_total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return peak_total_;
 }
 
 uint64_t MemoryBroker::class_bytes(MemoryClass cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return class_bytes_[static_cast<size_t>(cls)];
 }
 
 std::vector<MemoryConsumerStats> MemoryBroker::ConsumerSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   std::vector<MemoryConsumerStats> out;
   for (const Entry& e : entries_) {
     if (!e.live) continue;

@@ -25,11 +25,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/latch_rank.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace smoothscan {
 
@@ -50,6 +51,11 @@ struct MemoryBrokerOptions {
   /// Global byte budget across all consumers; charges past it raise the
   /// pressure flag (never fail). Default: unbounded.
   uint64_t global_budget_bytes = UINT64_MAX;
+  /// Hysteresis low-water mark: once raised, the pressure flag stays up
+  /// until the total falls to or below this, damping the spill/restore
+  /// ping-pong of consumers hovering at the budget line. 0 (default)
+  /// derives `budget - budget / 8`; must not exceed the budget.
+  uint64_t pressure_low_water_bytes = 0;
 };
 
 /// Snapshot of one registered consumer.
@@ -106,34 +112,42 @@ class MemoryBroker {
   };
 
   explicit MemoryBroker(MemoryBrokerOptions options = MemoryBrokerOptions())
-      : options_(options) {}
+      : options_(options),
+        low_water_(options.pressure_low_water_bytes != 0
+                       ? options.pressure_low_water_bytes
+                       : options.global_budget_bytes -
+                             options.global_budget_bytes / 8) {
+    SMOOTHSCAN_CHECK(low_water_ <= options_.global_budget_bytes);
+  }
 
   MemoryBroker(const MemoryBroker&) = delete;
   MemoryBroker& operator=(const MemoryBroker&) = delete;
 
-  Consumer Register(MemoryClass cls, std::string name);
+  Consumer Register(MemoryClass cls, std::string name) EXCLUDES(mu_);
 
   uint64_t total_bytes() const {
     return total_.load(std::memory_order_relaxed);
   }
   uint64_t budget() const { return options_.global_budget_bytes; }
+  uint64_t pressure_low_water() const { return low_water_; }
 
-  /// True while the summed charges exceed the global budget. Lock-free:
-  /// consumers poll this on their hot paths.
+  /// True from the charge that pushes the total past the global budget until
+  /// the uncharge that brings it back to the low-water mark (hysteresis: a
+  /// consumer that sheds just below the budget and immediately re-charges no
+  /// longer flaps the flag). Lock-free: consumers poll this on hot paths.
   bool UnderPressure() const {
-    return total_.load(std::memory_order_relaxed) >
-           options_.global_budget_bytes;
+    return pressured_.load(std::memory_order_relaxed);
   }
 
-  /// Bumped every time a charge crosses the budget from below — consumers
-  /// (and tests) can detect "pressure happened" even if it was relieved.
+  /// Bumped every time the pressure flag rises — consumers (and tests) can
+  /// detect "pressure happened" even if it was relieved.
   uint64_t pressure_epoch() const {
     return pressure_epoch_.load(std::memory_order_relaxed);
   }
 
-  uint64_t peak_total_bytes() const;
-  uint64_t class_bytes(MemoryClass cls) const;
-  std::vector<MemoryConsumerStats> ConsumerSnapshots() const;
+  uint64_t peak_total_bytes() const EXCLUDES(mu_);
+  uint64_t class_bytes(MemoryClass cls) const EXCLUDES(mu_);
+  std::vector<MemoryConsumerStats> ConsumerSnapshots() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -144,19 +158,30 @@ class MemoryBroker {
     bool live = false;
   };
 
-  void Charge(size_t id, uint64_t bytes);
-  void Uncharge(size_t id, uint64_t bytes);
-  void Unregister(size_t id);
-  uint64_t ConsumerBytes(size_t id) const;
+  void Charge(size_t id, uint64_t bytes) EXCLUDES(mu_);
+  void Uncharge(size_t id, uint64_t bytes) EXCLUDES(mu_);
+  void Unregister(size_t id) EXCLUDES(mu_);
+  uint64_t ConsumerBytes(size_t id) const EXCLUDES(mu_);
+
+  /// Re-derives the pressure flag after `total_` moved to `after`. The flag
+  /// is written only under `mu_` (so rise/fall transitions serialize) but
+  /// read lock-free by UnderPressure().
+  void UpdatePressureLocked(uint64_t before, uint64_t after) REQUIRES(mu_);
 
   const MemoryBrokerOptions options_;
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  std::vector<size_t> free_ids_;
-  uint64_t class_bytes_[kNumMemoryClasses] = {};
-  uint64_t peak_total_ = 0;
+  const uint64_t low_water_;
+  /// The broker latch is a leaf: BatchPool charges its query scope (which
+  /// forwards here) while holding the pool latch, and shared-scan groups
+  /// charge window bytes under the group latch.
+  mutable latch::Latch mu_{latch::LatchRank::kBroker, "MemoryBroker::mu_"};
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
+  std::vector<size_t> free_ids_ GUARDED_BY(mu_);
+  uint64_t class_bytes_[kNumMemoryClasses] GUARDED_BY(mu_) = {};
+  uint64_t peak_total_ GUARDED_BY(mu_) = 0;
   /// Mirror of the summed entry bytes, readable without the latch.
   std::atomic<uint64_t> total_{0};
+  /// Hysteresis pressure flag (see UnderPressure); written under `mu_` only.
+  std::atomic<bool> pressured_{false};
   std::atomic<uint64_t> pressure_epoch_{0};
 };
 

@@ -21,12 +21,12 @@ SharedScanGroup::SharedScanGroup(Engine* engine, FileId file,
 }
 
 SharedScanGroupStats SharedScanGroup::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   return stats_;
 }
 
 void SharedScanGroup::Attach(SharedScanConsumer* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   uint32_t id;
   if (!free_ids_.empty()) {
     id = free_ids_.back();
@@ -135,7 +135,7 @@ void SharedScanGroup::PumpLocked() {
   // it simply finds nothing to produce.
   auto self = shared_from_this();
   options_.scheduler->Submit({[self] {
-    std::lock_guard<std::mutex> lock(self->mu_);
+    latch::LatchGuard lock(self->mu_);
     self->pump_pending_ = false;
     self->PumpRunLocked();
   }});
@@ -178,7 +178,7 @@ void SharedScanGroup::DropClaimsLocked(uint64_t from_seq, uint64_t end_seq) {
 }
 
 const SharedChunk* SharedScanGroup::NextChunk(uint32_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  latch::UniqueLatch lock(mu_);
   ConsumerState& c = consumers_[id];
   SMOOTHSCAN_CHECK(c.active);
   if (c.holding) ReleaseHeldLocked(&c);
@@ -204,7 +204,7 @@ const SharedChunk* SharedScanGroup::NextChunk(uint32_t id) {
 }
 
 void SharedScanGroup::Detach(uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   ConsumerState& c = consumers_[id];
   if (!c.active) return;
   if (c.holding) {
@@ -239,7 +239,7 @@ ScanSharingCoordinator::ScanSharingCoordinator(Engine* engine,
     : engine_(engine), options_(options) {}
 
 ScanSharingCoordinator::~ScanSharingCoordinator() {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   for (const auto& [file, group] : groups_) {
     // Destroying the coordinator with live consumers would dangle their
     // handles; the engine drains queries first.
@@ -256,7 +256,7 @@ SharedScanConsumer ScanSharingCoordinator::AttachExtent(FileId file,
                                                         PageId num_pages) {
   std::shared_ptr<SharedScanGroup> group;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    latch::LatchGuard lock(mu_);
     std::shared_ptr<SharedScanGroup>& slot = groups_[file];
     if (slot == nullptr) {
       slot = std::make_shared<SharedScanGroup>(engine_, file, num_pages,
@@ -271,7 +271,7 @@ SharedScanConsumer ScanSharingCoordinator::AttachExtent(FileId file,
 
 std::shared_ptr<SharedSmoothGroup> ScanSharingCoordinator::SmoothSharingFor(
     const HeapFile* heap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   std::shared_ptr<SharedSmoothGroup>& slot = smooth_groups_[heap->file_id()];
   if (slot == nullptr) {
     slot = std::make_shared<SharedSmoothGroup>(heap->num_pages(),
@@ -283,14 +283,14 @@ std::shared_ptr<SharedSmoothGroup> ScanSharingCoordinator::SmoothSharingFor(
 
 std::shared_ptr<const SharedScanGroup> ScanSharingCoordinator::GroupFor(
     const HeapFile* heap) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto it = groups_.find(heap->file_id());
   return it == groups_.end() ? nullptr : it->second;
 }
 
 void ScanSharingCoordinator::InvalidateFile(FileId file) {
   std::shared_ptr<SharedScanGroup> retired;  // Destroyed outside the latch.
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   auto it = groups_.find(file);
   if (it != groups_.end()) {
     // Publish runs at table quiescence, so the group must be parked; its
@@ -304,7 +304,7 @@ void ScanSharingCoordinator::InvalidateFile(FileId file) {
 }
 
 ScanSharingStats ScanSharingCoordinator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   ScanSharingStats total;
   total.groups = groups_.size();
   for (const auto& [file, group] : groups_) {

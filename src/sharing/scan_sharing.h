@@ -40,11 +40,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "access/smooth_scan.h"
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "exec/task_scheduler.h"
 #include "mem/memory_broker.h"
 #include "storage/engine.h"
@@ -161,7 +162,7 @@ class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
   SharedScanGroup(const SharedScanGroup&) = delete;
   SharedScanGroup& operator=(const SharedScanGroup&) = delete;
 
-  SharedScanGroupStats stats() const;
+  SharedScanGroupStats stats() const EXCLUDES(mu_);
   uint64_t num_chunks() const { return num_chunks_; }
 
  private:
@@ -176,21 +177,20 @@ class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
     bool holding = false;   ///< Between NextChunk() and the release.
   };
 
-  void Attach(SharedScanConsumer* out);
-  const SharedChunk* NextChunk(uint32_t id);
-  void Detach(uint32_t id);
+  void Attach(SharedScanConsumer* out) EXCLUDES(mu_);
+  const SharedChunk* NextChunk(uint32_t id) EXCLUDES(mu_);
+  void Detach(uint32_t id) EXCLUDES(mu_);
 
-  // All Locked members require mu_.
-  bool CanProduceLocked();
-  void ProduceOneLocked();
+  bool CanProduceLocked() REQUIRES(mu_);
+  void ProduceOneLocked() REQUIRES(mu_);
   /// Produces while capacity allows, then wakes waiters.
-  void PumpRunLocked();
+  void PumpRunLocked() REQUIRES(mu_);
   /// Ensures production is in flight: schedules a pump task (or runs it
   /// inline without a scheduler) unless one is already pending.
-  void PumpLocked();
-  void ReleaseHeldLocked(ConsumerState* c);
-  void DropClaimsLocked(uint64_t from_seq, uint64_t end_seq);
-  void PopFreeChunksLocked();
+  void PumpLocked() REQUIRES(mu_);
+  void ReleaseHeldLocked(ConsumerState* c) REQUIRES(mu_);
+  void DropClaimsLocked(uint64_t from_seq, uint64_t end_seq) REQUIRES(mu_);
+  void PopFreeChunksLocked() REQUIRES(mu_);
 
   Engine* const engine_;
   const FileId file_;
@@ -200,22 +200,26 @@ class SharedScanGroup : public std::enable_shared_from_this<SharedScanGroup> {
   /// Broker charge for the pinned chunk window (page bytes under guards).
   MemoryBroker::Consumer mem_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< Signaled on production and detach.
+  /// Held across chunk production: fetches through the shared pool (shard
+  /// latches), broker window charges and pump-task submission all nest under
+  /// the group latch, hence its rank above scheduler/pool/broker.
+  mutable latch::Latch mu_{latch::LatchRank::kSharedGroup,
+                           "SharedScanGroup::mu_"};
+  std::condition_variable_any cv_;  ///< Signaled on production and detach.
   /// Produced, not-yet-released chunks: seqs [window_base_, head_seq_).
-  std::deque<std::shared_ptr<SharedChunk>> window_;
-  uint64_t window_base_ = 0;
-  uint64_t head_seq_ = 0;  ///< Next chunk sequence to produce.
+  std::deque<std::shared_ptr<SharedChunk>> window_ GUARDED_BY(mu_);
+  uint64_t window_base_ GUARDED_BY(mu_) = 0;
+  uint64_t head_seq_ GUARDED_BY(mu_) = 0;  ///< Next sequence to produce.
   /// Indexed by consumer id. A deque: consumers hold references across
   /// cv_ waits, so Attach() must never invalidate them. Slots of detached
   /// consumers are recycled through free_ids_ (safe: a handle never touches
   /// its id again once the group deactivated it), so the deque is bounded by
   /// the group's peak concurrency, not its lifetime attach count.
-  std::deque<ConsumerState> consumers_;
-  std::vector<uint32_t> free_ids_;
-  uint32_t active_consumers_ = 0;
-  bool pump_pending_ = false;
-  SharedScanGroupStats stats_;
+  std::deque<ConsumerState> consumers_ GUARDED_BY(mu_);
+  std::vector<uint32_t> free_ids_ GUARDED_BY(mu_);
+  uint32_t active_consumers_ GUARDED_BY(mu_) = 0;
+  bool pump_pending_ GUARDED_BY(mu_) = false;
+  SharedScanGroupStats stats_ GUARDED_BY(mu_);
 };
 
 /// Aggregate counters over every group of the coordinator.
@@ -249,16 +253,19 @@ class ScanSharingCoordinator {
   /// one table coexist and are invalidated independently. `num_pages` must
   /// match the file's page count and stays fixed for the group's lifetime
   /// (extents are immutable until invalidated).
-  SharedScanConsumer AttachExtent(FileId file, PageId num_pages);
+  SharedScanConsumer AttachExtent(FileId file, PageId num_pages)
+      EXCLUDES(mu_);
 
   /// The table's shared-SmoothScan group: attached Smooth Scans feed (and
   /// consult) one common concurrent Page ID Cache over the engine's shared
   /// pool. Created on first use; the same instance is handed to every caller.
-  std::shared_ptr<SharedSmoothGroup> SmoothSharingFor(const HeapFile* heap);
+  std::shared_ptr<SharedSmoothGroup> SmoothSharingFor(const HeapFile* heap)
+      EXCLUDES(mu_);
 
   /// The group serving `heap`, or null before any Attach (tests,
   /// observability).
-  std::shared_ptr<const SharedScanGroup> GroupFor(const HeapFile* heap) const;
+  std::shared_ptr<const SharedScanGroup> GroupFor(const HeapFile* heap) const
+      EXCLUDES(mu_);
 
   /// Retires the table's parked groups after a snapshot publish: the circular
   /// scan's chunk decomposition (and the shared Smooth Scan's page-id bitmap)
@@ -267,9 +274,9 @@ class ScanSharingCoordinator {
   /// guaranteed at publish time, because every consumer's query holds a table
   /// read lease and publish only runs at quiescence (the "drain" half of
   /// drain-or-invalidate). No-op for tables without groups.
-  void InvalidateFile(FileId file);
+  void InvalidateFile(FileId file) EXCLUDES(mu_);
 
-  ScanSharingStats stats() const;
+  ScanSharingStats stats() const EXCLUDES(mu_);
 
   Engine* engine() const { return engine_; }
   const SharedScanOptions& options() const { return options_; }
@@ -278,10 +285,14 @@ class ScanSharingCoordinator {
   Engine* const engine_;
   const SharedScanOptions options_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<FileId, std::shared_ptr<SharedScanGroup>> groups_;
+  /// Ranked just above the group latch: stats()/InvalidateFile read group
+  /// stats while holding the registry latch.
+  mutable latch::Latch mu_{latch::LatchRank::kCoordinator,
+                           "ScanSharingCoordinator::mu_"};
+  std::unordered_map<FileId, std::shared_ptr<SharedScanGroup>> groups_
+      GUARDED_BY(mu_);
   std::unordered_map<FileId, std::shared_ptr<SharedSmoothGroup>>
-      smooth_groups_;
+      smooth_groups_ GUARDED_BY(mu_);
 };
 
 }  // namespace smoothscan

@@ -39,7 +39,7 @@ void BufferPool::PinKey(uint64_t key) {
   Shard& shard = ShardFor(key);
   uint64_t evicted = kNoWriteBack;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -54,7 +54,7 @@ void BufferPool::PinKey(uint64_t key) {
 
 void BufferPool::UnpinKey(uint64_t key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  latch::LatchGuard lock(shard.mu);
   auto it = shard.map.find(key);
   SMOOTHSCAN_CHECK(it != shard.map.end() && it->second.pins > 0);
   --it->second.pins;
@@ -64,7 +64,7 @@ void BufferPool::TouchKey(uint64_t key) {
   Shard& shard = ShardFor(key);
   uint64_t evicted = kNoWriteBack;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -78,7 +78,7 @@ void BufferPool::TouchKey(uint64_t key) {
 bool BufferPool::Contains(FileId file, PageId page) const {
   const uint64_t key = Key(file, page);
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  latch::LatchGuard lock(shard.mu);
   return shard.map.count(key) > 0;
 }
 
@@ -86,7 +86,7 @@ size_t BufferPool::EvictFile(FileId file) {
   size_t dropped = 0;
   std::vector<uint64_t> write_back;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    latch::LatchGuard lock(shard->mu);
     for (auto it = shard->map.begin(); it != shard->map.end();) {
       if (FileOf(it->first) != file) {
         ++it;
@@ -142,7 +142,7 @@ PageGuard BufferPool::Fetch(FileId file, PageId page) {
   bool miss = false;
   uint64_t evicted = kNoWriteBack;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       ++shard.stats.hits;
@@ -166,7 +166,7 @@ PageGuard BufferPool::PinIfResident(FileId file, PageId page) {
   const uint64_t key = Key(file, page);
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return PageGuard();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -181,7 +181,7 @@ PageGuard BufferPool::Pin(FileId file, PageId page) {
   Shard& shard = ShardFor(key);
   uint64_t evicted = kNoWriteBack;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -216,7 +216,7 @@ void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
   auto touch_if_resident = [&](PageId p) -> bool {
     const uint64_t key = Key(file, p);
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return false;
     ++shard.stats.hits;
@@ -239,7 +239,7 @@ void BufferPool::FetchExtent(FileId file, PageId first, uint32_t num_pages) {
     Shard& shard = ShardFor(key);
     uint64_t evicted = kNoWriteBack;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      latch::LatchGuard lock(shard.mu);
       auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -257,7 +257,7 @@ void BufferPool::MarkDirty(FileId file, PageId page) {
   Shard& shard = ShardFor(key);
   uint64_t evicted = kNoWriteBack;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -274,7 +274,7 @@ bool BufferPool::FlushPage(FileId file, PageId page) {
   const uint64_t key = Key(file, page);
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    latch::LatchGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end() || !it->second.dirty) return false;
     it->second.dirty = false;
@@ -289,7 +289,7 @@ size_t BufferPool::FlushAll() {
   size_t pinned = 0;
   std::vector<uint64_t> write_back;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    latch::LatchGuard lock(shard->mu);
     const size_t before = write_back.size();
     for (auto it = shard->map.begin(); it != shard->map.end();) {
       if (it->second.pins > 0) {
@@ -327,7 +327,7 @@ size_t BufferPool::FlushAll() {
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    latch::LatchGuard lock(shard->mu);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.write_backs += shard->stats.write_backs;
@@ -338,7 +338,7 @@ BufferPoolStats BufferPool::stats() const {
 size_t BufferPool::size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    latch::LatchGuard lock(shard->mu);
     n += shard->map.size();
   }
   return n;
@@ -347,7 +347,7 @@ size_t BufferPool::size() const {
 uint64_t BufferPool::pinned_pages() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    latch::LatchGuard lock(shard->mu);
     for (const auto& [key, entry] : shard->map) {
       if (entry.pins > 0) ++n;
     }
@@ -358,7 +358,7 @@ uint64_t BufferPool::pinned_pages() const {
 uint64_t BufferPool::dirty_pages() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    latch::LatchGuard lock(shard->mu);
     for (const auto& [key, entry] : shard->map) {
       if (entry.dirty) ++n;
     }

@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/page.h"
 #include "storage/sim_disk.h"
@@ -76,6 +77,8 @@ class PageGuard {
 
   BufferPool* pool_ = nullptr;
   uint64_t key_ = 0;
+  // lint:allow(raw-page-member) — PageGuard IS the pin-aware wrapper the
+  // rule tells everyone else to hold pages through.
   const Page* page_ = nullptr;
 };
 
@@ -189,12 +192,15 @@ class BufferPool {
     bool dirty = false;  ///< Content newer than "disk"; write back to drop.
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable latch::Latch mu{latch::LatchRank::kPoolShard,
+                            "BufferPool::Shard::mu"};
+    /// Set once at pool construction, before the pool is shared; read-only
+    /// afterwards, hence not guarded.
     size_t capacity = 0;
     // LRU list: front = most recently used. Map values point into the list.
-    std::list<uint64_t> lru;
-    std::unordered_map<uint64_t, Entry> map;
-    BufferPoolStats stats;
+    std::list<uint64_t> lru GUARDED_BY(mu);
+    std::unordered_map<uint64_t, Entry> map GUARDED_BY(mu);
+    BufferPoolStats stats GUARDED_BY(mu);
   };
 
   // 64-bit key packing (file, page).
@@ -221,7 +227,7 @@ class BufferPool {
   /// (after releasing the shard latch — SimDisk has its own latch and the
   /// fetch hot path must not nest them): returns the evicted dirty key, or
   /// kNoWriteBack.
-  uint64_t InsertLocked(Shard* shard, uint64_t key);
+  uint64_t InsertLocked(Shard* shard, uint64_t key) REQUIRES(shard->mu);
   /// Charges the write-back InsertLocked reported, outside the shard latch.
   void ChargeWriteBack(uint64_t evicted) {
     if (evicted != kNoWriteBack) {

@@ -6,7 +6,7 @@ namespace smoothscan {
 
 void SimDisk::Access(FileId file, PageId first, uint32_t num_pages,
                      bool is_write) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   stats_.io_requests += 1;
   if (is_write) {
     stats_.pages_written += num_pages;

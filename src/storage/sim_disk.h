@@ -32,10 +32,11 @@
 #define SMOOTHSCAN_STORAGE_SIM_DISK_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace smoothscan {
@@ -116,8 +117,8 @@ class SimDisk {
   void WritePage(FileId file, PageId page);
 
   /// Snapshot of the counters (copied under the latch).
-  IoStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  IoStats stats() const EXCLUDES(mu_) {
+    latch::LatchGuard lock(mu_);
     return stats_;
   }
 
@@ -128,40 +129,41 @@ class SimDisk {
   /// morsel's private stream at `page_begin - 1`: in the serial execution
   /// order the preceding page-range morsel ended exactly there, which is what
   /// keeps the summed parallel cost bit-identical to the serial scan.
-  void SeedPosition(FileId file, PageId page) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void SeedPosition(FileId file, PageId page) EXCLUDES(mu_) {
+    latch::LatchGuard lock(mu_);
     last_page_[file] = page;
   }
 
   /// Adds another stream's counters to this one (morsel merge). Callers merge
   /// in morsel order so double accumulation stays deterministic.
-  void Absorb(const IoStats& other) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Absorb(const IoStats& other) EXCLUDES(mu_) {
+    latch::LatchGuard lock(mu_);
     stats_ += other;
   }
 
   /// Forgets per-file head positions (e.g. between cold query runs) without
   /// clearing cumulative counters.
-  void ResetPositions() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetPositions() EXCLUDES(mu_) {
+    latch::LatchGuard lock(mu_);
     last_page_.clear();
   }
 
   /// Clears counters and positions.
-  void ResetAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetAll() EXCLUDES(mu_) {
+    latch::LatchGuard lock(mu_);
     stats_ = IoStats();
     last_page_.clear();
   }
 
  private:
-  void Access(FileId file, PageId first, uint32_t num_pages, bool is_write);
+  void Access(FileId file, PageId first, uint32_t num_pages, bool is_write)
+      EXCLUDES(mu_);
 
   DeviceProfile profile_;
   uint32_t page_size_;
-  mutable std::mutex mu_;
-  IoStats stats_;
-  std::unordered_map<FileId, PageId> last_page_;
+  mutable latch::Latch mu_{latch::LatchRank::kDisk, "SimDisk::mu_"};
+  IoStats stats_ GUARDED_BY(mu_);
+  std::unordered_map<FileId, PageId> last_page_ GUARDED_BY(mu_);
 };
 
 }  // namespace smoothscan

@@ -3,20 +3,20 @@
 namespace smoothscan {
 
 FileId StorageManager::CreateFile(std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   files_.push_back(File{std::move(name), {}});
   return static_cast<FileId>(files_.size() - 1);
 }
 
 PageId StorageManager::AppendPage(FileId file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   SMOOTHSCAN_CHECK(file < files_.size());
   files_[file].pages.push_back(std::make_unique<Page>(page_size_));
   return static_cast<PageId>(files_[file].pages.size() - 1);
 }
 
 void StorageManager::TruncateFile(FileId file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  latch::LatchGuard lock(mu_);
   SMOOTHSCAN_CHECK(file < files_.size());
   files_[file].pages.clear();
 }

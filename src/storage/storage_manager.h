@@ -18,11 +18,12 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/latch_rank.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/page.h"
 
@@ -38,17 +39,17 @@ class StorageManager {
   StorageManager& operator=(const StorageManager&) = delete;
 
   /// Creates a new empty file and returns its id.
-  FileId CreateFile(std::string name);
+  FileId CreateFile(std::string name) EXCLUDES(mu_);
 
   /// Appends a fresh page to `file` and returns its id.
-  PageId AppendPage(FileId file);
+  PageId AppendPage(FileId file) EXCLUDES(mu_);
 
   /// Drops every page of `file` (the file id stays valid and empty). Used by
   /// compressed-extent rebuilds; callers must first evict the file's frames
   /// from every buffer pool that could still hand out page references, and
   /// must not overlap a truncate with reads of the same file (the compressed
   /// tier guarantees this by rebuilding only at publish quiescence).
-  void TruncateFile(FileId file);
+  void TruncateFile(FileId file) EXCLUDES(mu_);
 
   /// Mutable access for build-time loading (no I/O accounting).
   Page* GetPageForWrite(FileId file, PageId page);
@@ -74,11 +75,14 @@ class StorageManager {
   }
 
   uint32_t page_size_;
-  mutable std::mutex mu_;  ///< Guards structure mutation (files/page vectors).
+  /// Guards structure mutation (files/page vectors).
+  mutable latch::Latch mu_{latch::LatchRank::kStorage, "StorageManager::mu_"};
   /// A deque so File references stay stable across CreateFile — snapshot
   /// publish may append pages to one table while queries run against others.
   /// Same-table append-vs-read is excluded by the table read leases
-  /// (write/table_version.h), not by a latch here.
+  /// (write/table_version.h), not by a latch here — which is also why this
+  /// member is deliberately NOT `GUARDED_BY(mu_)`: the read path (GetPage,
+  /// NumPages, FileName) is latch-free by design and lease-protected.
   std::deque<File> files_;
 };
 

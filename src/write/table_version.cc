@@ -17,7 +17,7 @@ void TableVersionRegistry::WriteTicket::Release() {
 }
 
 TableVersionRegistry::TableState& TableVersionRegistry::GetState(FileId file) {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  latch::LatchGuard lock(map_mu_);
   std::unique_ptr<TableState>& s = tables_[file];
   if (s == nullptr) s = std::make_unique<TableState>();
   return *s;
@@ -25,7 +25,7 @@ TableVersionRegistry::TableState& TableVersionRegistry::GetState(FileId file) {
 
 const TableVersionRegistry::TableState* TableVersionRegistry::FindState(
     FileId file) const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  latch::LatchGuard lock(map_mu_);
   auto it = tables_.find(file);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -34,7 +34,7 @@ TableVersionRegistry::ReadLease TableVersionRegistry::AcquireRead(
     FileId file) {
   TableState& s = GetState(file);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    latch::LatchGuard lock(s.mu);
     if (s.readers == 0 && !s.writer_active && s.open) {
       PublishLocked(file, &s);
     }
@@ -46,7 +46,7 @@ TableVersionRegistry::ReadLease TableVersionRegistry::AcquireRead(
 void TableVersionRegistry::ReleaseRead(FileId file) {
   TableState& s = GetState(file);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    latch::LatchGuard lock(s.mu);
     SMOOTHSCAN_CHECK(s.readers > 0);
     --s.readers;
     if (s.readers == 0 && !s.writer_active && s.open) {
@@ -60,8 +60,10 @@ TableVersionRegistry::WriteTicket TableVersionRegistry::BeginWrite(
     FileId file, HeapFile* heap) {
   SMOOTHSCAN_CHECK(heap != nullptr && heap->file_id() == file);
   TableState& s = GetState(file);
-  std::unique_lock<std::mutex> lock(s.mu);
-  s.cv.wait(lock, [&] { return !s.writer_active; });
+  latch::UniqueLatch lock(s.mu);
+  // Explicit loop: the analysis does not carry the held latch into a
+  // predicate lambda reading the guarded writer_active flag.
+  while (s.writer_active) s.cv.wait(lock);
   s.writer_active = true;
   if (!s.open) {
     s.open = true;
@@ -77,7 +79,7 @@ TableVersionRegistry::WriteTicket TableVersionRegistry::BeginWrite(
 void TableVersionRegistry::ReleaseWrite(FileId file) {
   TableState& s = GetState(file);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    latch::LatchGuard lock(s.mu);
     SMOOTHSCAN_CHECK(s.writer_active);
     s.writer_active = false;
     if (s.readers == 0 && s.open) {
@@ -89,7 +91,7 @@ void TableVersionRegistry::ReleaseWrite(FileId file) {
 
 Page* TableVersionRegistry::PageForWrite(FileId file, PageId pid) {
   TableState& s = GetState(file);
-  std::lock_guard<std::mutex> lock(s.mu);
+  latch::LatchGuard lock(s.mu);
   SMOOTHSCAN_CHECK(s.writer_active && s.open);
   if (pid >= s.base_pages) {
     const size_t idx = pid - s.base_pages;
@@ -108,7 +110,7 @@ const Page* TableVersionRegistry::ResolveOverlay(FileId file,
                                                  PageId pid) const {
   const TableState* s = FindState(file);
   if (s == nullptr) return nullptr;
-  std::lock_guard<std::mutex> lock(s->mu);
+  latch::LatchGuard lock(s->mu);
   if (!s->open) return nullptr;
   if (pid >= s->base_pages) {
     const size_t idx = pid - s->base_pages;
@@ -121,7 +123,7 @@ const Page* TableVersionRegistry::ResolveOverlay(FileId file,
 
 PageId TableVersionRegistry::AppendPage(FileId file) {
   TableState& s = GetState(file);
-  std::lock_guard<std::mutex> lock(s.mu);
+  latch::LatchGuard lock(s.mu);
   SMOOTHSCAN_CHECK(s.writer_active && s.open);
   s.appends.push_back(
       std::make_unique<Page>(engine_->storage().page_size()));
@@ -131,7 +133,7 @@ PageId TableVersionRegistry::AppendPage(FileId file) {
 PageId TableVersionRegistry::NumPagesInEra(FileId file) const {
   const TableState* s = FindState(file);
   if (s != nullptr) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    latch::LatchGuard lock(s->mu);
     if (s->open) {
       return s->base_pages + static_cast<PageId>(s->appends.size());
     }
@@ -142,7 +144,7 @@ PageId TableVersionRegistry::NumPagesInEra(FileId file) const {
 void TableVersionRegistry::QueueIndexInsert(FileId file, BPlusTree* tree,
                                             int64_t key, Tid tid) {
   TableState& s = GetState(file);
-  std::lock_guard<std::mutex> lock(s.mu);
+  latch::LatchGuard lock(s.mu);
   SMOOTHSCAN_CHECK(s.writer_active && s.open);
   s.index_ops.push_back(IndexOp{tree, /*insert=*/true, key, tid});
 }
@@ -150,14 +152,14 @@ void TableVersionRegistry::QueueIndexInsert(FileId file, BPlusTree* tree,
 void TableVersionRegistry::QueueIndexRemove(FileId file, BPlusTree* tree,
                                             int64_t key, Tid tid) {
   TableState& s = GetState(file);
-  std::lock_guard<std::mutex> lock(s.mu);
+  latch::LatchGuard lock(s.mu);
   SMOOTHSCAN_CHECK(s.writer_active && s.open);
   s.index_ops.push_back(IndexOp{tree, /*insert=*/false, key, tid});
 }
 
 void TableVersionRegistry::AddTupleDelta(FileId file, int64_t delta) {
   TableState& s = GetState(file);
-  std::lock_guard<std::mutex> lock(s.mu);
+  latch::LatchGuard lock(s.mu);
   SMOOTHSCAN_CHECK(s.writer_active && s.open);
   s.tuple_delta += delta;
 }
@@ -214,7 +216,7 @@ void TableVersionRegistry::RunPublishHook(FileId file) {
   // under hook_mu_.
   std::vector<std::function<void(FileId)>> hooks;
   {
-    std::lock_guard<std::mutex> lock(hook_mu_);
+    latch::LatchGuard lock(hook_mu_);
     hooks.reserve(publish_hooks_.size());
     for (const auto& [token, hook] : publish_hooks_) hooks.push_back(hook);
   }
@@ -223,14 +225,14 @@ void TableVersionRegistry::RunPublishHook(FileId file) {
 
 uint64_t TableVersionRegistry::AddPublishHook(
     std::function<void(FileId)> hook) {
-  std::lock_guard<std::mutex> lock(hook_mu_);
+  latch::LatchGuard lock(hook_mu_);
   const uint64_t token = next_hook_token_++;
   publish_hooks_.emplace_back(token, std::move(hook));
   return token;
 }
 
 void TableVersionRegistry::RemovePublishHook(uint64_t token) {
-  std::lock_guard<std::mutex> lock(hook_mu_);
+  latch::LatchGuard lock(hook_mu_);
   for (auto it = publish_hooks_.begin(); it != publish_hooks_.end(); ++it) {
     if (it->first == token) {
       publish_hooks_.erase(it);
@@ -242,21 +244,21 @@ void TableVersionRegistry::RemovePublishHook(uint64_t token) {
 uint64_t TableVersionRegistry::published_epoch(FileId file) const {
   const TableState* s = FindState(file);
   if (s == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(s->mu);
+  latch::LatchGuard lock(s->mu);
   return s->published_epoch;
 }
 
 bool TableVersionRegistry::era_open(FileId file) const {
   const TableState* s = FindState(file);
   if (s == nullptr) return false;
-  std::lock_guard<std::mutex> lock(s->mu);
+  latch::LatchGuard lock(s->mu);
   return s->open;
 }
 
 uint32_t TableVersionRegistry::readers(FileId file) const {
   const TableState* s = FindState(file);
   if (s == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(s->mu);
+  latch::LatchGuard lock(s->mu);
   return s->readers;
 }
 

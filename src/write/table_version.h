@@ -39,10 +39,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
 #include "index/bplus_tree.h"
 #include "storage/engine.h"
 #include "storage/heap_file.h"
@@ -187,39 +188,48 @@ class TableVersionRegistry {
     Tid tid;
   };
   struct TableState {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    uint32_t readers = 0;
-    bool writer_active = false;
-    uint64_t published_epoch = 0;
+    /// Publish holds this latch while folding pages (storage + pool dirty
+    /// marks) and running the publish hooks (hook latch → coordinator →
+    /// compressed map), hence its rank above all of them.
+    mutable latch::Latch mu{latch::LatchRank::kRegistryTable,
+                            "TableVersionRegistry::TableState::mu"};
+    std::condition_variable_any cv;
+    uint32_t readers GUARDED_BY(mu) = 0;
+    bool writer_active GUARDED_BY(mu) = false;
+    uint64_t published_epoch GUARDED_BY(mu) = 0;
     // Pending era (valid while `open`).
-    bool open = false;
-    HeapFile* heap = nullptr;
-    PageId base_pages = 0;
-    std::unordered_map<PageId, std::unique_ptr<Page>> cow;
-    std::vector<std::unique_ptr<Page>> appends;
-    std::vector<IndexOp> index_ops;
-    int64_t tuple_delta = 0;
+    bool open GUARDED_BY(mu) = false;
+    HeapFile* heap GUARDED_BY(mu) = nullptr;
+    PageId base_pages GUARDED_BY(mu) = 0;
+    std::unordered_map<PageId, std::unique_ptr<Page>> cow GUARDED_BY(mu);
+    std::vector<std::unique_ptr<Page>> appends GUARDED_BY(mu);
+    std::vector<IndexOp> index_ops GUARDED_BY(mu);
+    int64_t tuple_delta GUARDED_BY(mu) = 0;
   };
 
-  TableState& GetState(FileId file);
-  const TableState* FindState(FileId file) const;
+  TableState& GetState(FileId file) EXCLUDES(map_mu_);
+  const TableState* FindState(FileId file) const EXCLUDES(map_mu_);
 
   void ReleaseRead(FileId file);
   void ReleaseWrite(FileId file);
-  /// Folds the era into the base snapshot. Requires s->mu held, zero
-  /// readers, no active writer and an open era.
-  void PublishLocked(FileId file, TableState* s);
-  void RunPublishHook(FileId file);
+  /// Folds the era into the base snapshot. Requires zero readers, no active
+  /// writer and an open era.
+  void PublishLocked(FileId file, TableState* s) REQUIRES(s->mu);
+  void RunPublishHook(FileId file) EXCLUDES(hook_mu_);
 
   Engine* const engine_;
 
-  mutable std::mutex map_mu_;  ///< Guards tables_ (not per-table state).
-  std::unordered_map<FileId, std::unique_ptr<TableState>> tables_;
-  std::mutex hook_mu_;
+  /// Guards tables_ (not per-table state); dropped before any table latch is
+  /// acquired, ranked above them so a future nesting stays legal.
+  mutable latch::Latch map_mu_{latch::LatchRank::kRegistryMap,
+                               "TableVersionRegistry::map_mu_"};
+  std::unordered_map<FileId, std::unique_ptr<TableState>> tables_
+      GUARDED_BY(map_mu_);
+  latch::Latch hook_mu_{latch::LatchRank::kRegistryHooks,
+                        "TableVersionRegistry::hook_mu_"};
   std::vector<std::pair<uint64_t, std::function<void(FileId)>>>
-      publish_hooks_;  ///< (token, hook), in registration order.
-  uint64_t next_hook_token_ = 1;
+      publish_hooks_ GUARDED_BY(hook_mu_);  ///< (token, hook), in order.
+  uint64_t next_hook_token_ GUARDED_BY(hook_mu_) = 1;
 };
 
 }  // namespace smoothscan

@@ -1,0 +1,153 @@
+// Tests for the runtime latch-hierarchy validator (src/common/latch_rank.h):
+// legal strictly-decreasing acquisition passes, rank inversion / recursive /
+// unranked acquisition abort with a diagnostic naming the offending latch.
+//
+// The validator defaults off in Release builds, so every test flips it on
+// explicitly — inside the death statement too, because gtest's death-test
+// styles differ in how much parent state the child inherits.
+
+#include "common/latch_rank.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace smoothscan {
+namespace latch {
+namespace {
+
+/// RAII enable (and restore-to-off) so tests don't leak checker state into
+/// other suites running in the same binary.
+struct ScopedChecks {
+  ScopedChecks() { SetChecksEnabled(true); }
+  ~ScopedChecks() { SetChecksEnabled(false); }
+};
+
+TEST(LatchRankTest, DecreasingOrderPasses) {
+  ScopedChecks checks;
+  Latch outer(LatchRank::kQueryEngine, "test::outer");
+  Latch middle(LatchRank::kPoolShard, "test::middle");
+  Latch inner(LatchRank::kBroker, "test::inner");
+  {
+    LatchGuard a(outer);
+    LatchGuard b(middle);
+    LatchGuard c(inner);
+  }
+  // Releasing everything resets the thread's stack: the same order passes
+  // again, and so does a different (still decreasing) chain.
+  {
+    LatchGuard b(middle);
+    LatchGuard c(inner);
+  }
+}
+
+TEST(LatchRankTest, ReacquireAfterReleasePasses) {
+  ScopedChecks checks;
+  Latch outer(LatchRank::kCoordinator, "test::outer");
+  Latch inner(LatchRank::kDisk, "test::inner");
+  {
+    LatchGuard a(outer);
+  }
+  {
+    // inner-then-outer is fine when they are not held simultaneously.
+    LatchGuard b(inner);
+  }
+  {
+    LatchGuard a(outer);
+  }
+}
+
+TEST(LatchRankTest, UniqueLatchWaitStyleUnlockRelock) {
+  ScopedChecks checks;
+  Latch outer(LatchRank::kScheduler, "test::outer");
+  Latch inner(LatchRank::kBatchPool, "test::inner");
+  UniqueLatch lock(outer);
+  // A cv wait unlocks and relocks through the same rank bookkeeping.
+  lock.unlock();
+  {
+    LatchGuard b(inner);  // Legal: nothing held.
+  }
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(LatchRankTest, TryLockParticipates) {
+  ScopedChecks checks;
+  Latch outer(LatchRank::kStorage, "test::outer");
+  Latch inner(LatchRank::kDisk, "test::inner");
+  LatchGuard a(outer);
+  ASSERT_TRUE(inner.try_lock());
+  inner.unlock();
+}
+
+TEST(LatchRankTest, PerThreadStacksAreIndependent) {
+  ScopedChecks checks;
+  Latch outer(LatchRank::kRegistryTable, "test::outer");
+  Latch inner(LatchRank::kPoolShard, "test::inner");
+  LatchGuard a(outer);
+  // Another thread holds nothing, so it may take `inner` alone even though
+  // this thread's stack is non-empty.
+  std::thread t([&] {
+    LatchGuard b(inner);
+  });
+  t.join();
+}
+
+TEST(LatchRankDeathTests, RankInversionAborts) {
+  Latch outer(LatchRank::kQueryEngine, "test::outer");
+  Latch inner(LatchRank::kDisk, "test::inner");
+  EXPECT_DEATH(
+      {
+        SetChecksEnabled(true);
+        LatchGuard a(inner);
+        LatchGuard b(outer);  // kQueryEngine > kDisk while kDisk held.
+      },
+      "rank inversion.*test::outer");
+}
+
+TEST(LatchRankDeathTests, SameRankIsAnInversion) {
+  Latch a_latch(LatchRank::kPoolShard, "test::shard_a");
+  Latch b_latch(LatchRank::kPoolShard, "test::shard_b");
+  EXPECT_DEATH(
+      {
+        SetChecksEnabled(true);
+        LatchGuard a(a_latch);
+        LatchGuard b(b_latch);  // No latch class self-nests in the engine.
+      },
+      "rank inversion.*test::shard_b");
+}
+
+TEST(LatchRankDeathTests, RecursiveAcquisitionAborts) {
+  Latch l(LatchRank::kStorage, "test::recursive");
+  EXPECT_DEATH(
+      {
+        SetChecksEnabled(true);
+        l.lock();
+        l.lock();  // Would deadlock on the real mutex; the checker fires first.
+      },
+      "recursive acquisition.*test::recursive");
+}
+
+TEST(LatchRankDeathTests, UnrankedLatchRejected) {
+  Latch l(LatchRank::kUnranked, "test::unranked");
+  EXPECT_DEATH(
+      {
+        SetChecksEnabled(true);
+        l.lock();
+      },
+      "unranked latch.*test::unranked");
+}
+
+TEST(LatchRankDeathTests, DisabledChecksDoNotFire) {
+  // With checking off, an out-of-order acquisition of two distinct latches
+  // proceeds (it cannot deadlock by itself); this pins the Release default.
+  SetChecksEnabled(false);
+  Latch outer(LatchRank::kQueryEngine, "test::outer");
+  Latch inner(LatchRank::kDisk, "test::inner");
+  LatchGuard a(inner);
+  LatchGuard b(outer);
+}
+
+}  // namespace
+}  // namespace latch
+}  // namespace smoothscan

@@ -188,6 +188,45 @@ TEST(MemoryBrokerTest, PressureFlagAndEpoch) {
   EXPECT_EQ(broker.peak_total_bytes(), 1101u);
 }
 
+TEST(MemoryBrokerTest, PressureHysteresis) {
+  MemoryBrokerOptions options;
+  options.global_budget_bytes = 1000;
+  options.pressure_low_water_bytes = 600;
+  MemoryBroker broker(options);
+  EXPECT_EQ(broker.pressure_low_water(), 600u);
+  MemoryBroker::Consumer c = broker.Register(MemoryClass::kOther, "c");
+  c.Charge(1001);
+  EXPECT_TRUE(broker.UnderPressure());
+  EXPECT_EQ(broker.pressure_epoch(), 1u);
+  // Dipping below budget but above the low water keeps the flag raised —
+  // this is the damping that stops spill/restore ping-pong at the boundary.
+  c.Uncharge(300);  // Total 701.
+  EXPECT_TRUE(broker.UnderPressure());
+  c.Charge(200);  // Total 901: re-crossing nothing, same episode.
+  EXPECT_TRUE(broker.UnderPressure());
+  EXPECT_EQ(broker.pressure_epoch(), 1u);
+  c.Uncharge(301);  // Total 600: at the low water, the episode ends.
+  EXPECT_FALSE(broker.UnderPressure());
+  c.Charge(401);  // Total 1001: a fresh episode, new epoch.
+  EXPECT_TRUE(broker.UnderPressure());
+  EXPECT_EQ(broker.pressure_epoch(), 2u);
+}
+
+TEST(MemoryBrokerTest, PressureClearsOnUnregister) {
+  MemoryBrokerOptions options;
+  options.global_budget_bytes = 1000;
+  MemoryBroker broker(options);
+  // Default low water derives as budget - budget / 8.
+  EXPECT_EQ(broker.pressure_low_water(), 875u);
+  {
+    MemoryBroker::Consumer c = broker.Register(MemoryClass::kOther, "c");
+    c.Charge(1500);
+    EXPECT_TRUE(broker.UnderPressure());
+  }
+  // The consumer's teardown returned every byte: pressure must not stick.
+  EXPECT_FALSE(broker.UnderPressure());
+}
+
 TEST(MemoryBrokerTest, UnregisterReturnsBytes) {
   MemoryBroker broker;
   {
