@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validator for the engine's Chrome trace-event exports
+(obs::TraceCollector::ExportJson) — the CI gate behind the traced
+bench_concurrent_throughput run. Checks, per thread track:
+
+  monotonic-ts    Timestamps never go backwards within a tid (the collector
+                  stamps events from one steady clock per thread, in push
+                  order, and export preserves ring order).
+  balance         B/E events form a proper span stack: every E closes the
+                  innermost open B of the same name, and nothing stays open
+                  at the end of a track. Export repairs overflow damage
+                  (drops orphan Es, synthesizes missing Es), so a valid
+                  export must pass this *strictly*.
+  overflow        A `ring_overflow` instant appears on a tid if and only if
+                  the `smoothscanMeta.rings` entry for that tid reports
+                  dropped > 0 — the overflow marker and the side-channel
+                  count must agree.
+  qid-integrity   When no ring dropped events, every nonzero args.qid seen
+                  anywhere belongs to a query with a complete "query" span
+                  (a query can't be referenced by a morsel/scan/morph event
+                  without its admission span in the trace). Skipped when
+                  events were dropped — the span may legitimately be gone.
+
+Acceptance flags (CI asserts the traced run produced real content):
+  --require-query-span      >= 1 complete "query" span with a nonzero qid.
+  --require-morph-instants  >= 1 SmoothScan morph instant (morph_trigger /
+                            morph_grow / morph_shrink) carrying a "policy"
+                            string payload.
+
+Usage: check_trace.py TRACE.json [--require-query-span]
+                      [--require-morph-instants]
+Exit 0 = valid, 1 = violations (each printed on its own line).
+"""
+
+import argparse
+import json
+import sys
+
+SPAN_PHASES = {"B", "E"}
+KNOWN_PHASES = {"B", "E", "i", "M"}
+MORPH_NAMES = {"morph_trigger", "morph_grow", "morph_shrink"}
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not an object-form Chrome trace "
+                         "(missing traceEvents)")
+    return doc
+
+
+def check_events(events):
+    """Structural checks over the event list. Returns (errors, facts) where
+    facts feed the meta cross-checks and acceptance flags."""
+    errors = []
+    last_ts = {}       # tid -> last seen ts
+    stacks = {}        # tid -> [(name, qid)] open spans
+    overflow_tids = set()
+    qids_referenced = set()
+    complete_queries = set()  # qids with a balanced "query" span
+    morph_with_policy = 0
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # Metadata (thread_name): no ts semantics.
+        tid = e.get("tid")
+        ts = e.get("ts")
+        name = e.get("name")
+        if not isinstance(tid, int) or not isinstance(ts, (int, float)):
+            errors.append(f"event {i}: missing/malformed tid or ts")
+            continue
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(f"event {i} ({name!r}): ts {ts} < {last_ts[tid]} "
+                          f"on tid {tid} (non-monotonic)")
+        last_ts[tid] = ts
+
+        args = e.get("args", {})
+        qid = args.get("qid", 0)
+        if isinstance(qid, int) and qid > 0:
+            qids_referenced.add(qid)
+
+        if ph == "i":
+            if name == "ring_overflow":
+                overflow_tids.add(tid)
+            if name in MORPH_NAMES and isinstance(args.get("policy"), str):
+                morph_with_policy += 1
+        elif ph == "B":
+            stacks.setdefault(tid, []).append((name, qid))
+        elif ph == "E":
+            stack = stacks.setdefault(tid, [])
+            if not stack:
+                errors.append(f"event {i}: E {name!r} on tid {tid} with no "
+                              f"open span (unbalanced)")
+                continue
+            open_name, open_qid = stack.pop()
+            if name is not None and name != open_name:
+                errors.append(f"event {i}: E {name!r} closes B "
+                              f"{open_name!r} on tid {tid} (mismatched)")
+            elif open_name == "query" and open_qid > 0:
+                complete_queries.add(open_qid)
+
+    for tid, stack in stacks.items():
+        for name, _ in stack:
+            errors.append(f"tid {tid}: span {name!r} never closed "
+                          f"(unbalanced)")
+
+    facts = {
+        "overflow_tids": overflow_tids,
+        "qids_referenced": qids_referenced,
+        "complete_queries": complete_queries,
+        "morph_with_policy": morph_with_policy,
+    }
+    return errors, facts
+
+
+def check_meta(doc, facts):
+    """Cross-checks smoothscanMeta.rings against the event stream."""
+    errors = []
+    rings = doc.get("smoothscanMeta", {}).get("rings", [])
+    dropped_tids = set()
+    total_dropped = 0
+    for ring in rings:
+        tid = ring.get("tid")
+        dropped = ring.get("dropped", 0)
+        total_dropped += dropped
+        if dropped > 0:
+            dropped_tids.add(tid)
+    for tid in facts["overflow_tids"] - dropped_tids:
+        errors.append(f"tid {tid}: ring_overflow instant but meta reports "
+                      f"no drops")
+    for tid in dropped_tids - facts["overflow_tids"]:
+        errors.append(f"tid {tid}: meta reports dropped events but no "
+                      f"ring_overflow instant")
+    if total_dropped == 0:
+        # Nothing was lost, so every referenced query must have its full
+        # admission span in the trace.
+        for qid in sorted(facts["qids_referenced"]
+                          - facts["complete_queries"]):
+            errors.append(f"qid {qid}: referenced by events but has no "
+                          f"complete 'query' span (and nothing was dropped)")
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate a smoothscan Chrome trace export "
+                    "(see module docstring).")
+    parser.add_argument("trace", help="trace JSON file")
+    parser.add_argument("--require-query-span", action="store_true",
+                        help="fail unless >= 1 complete query span exists")
+    parser.add_argument("--require-morph-instants", action="store_true",
+                        help="fail unless >= 1 morph instant with a policy "
+                             "payload exists")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = load(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_trace: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    events = doc["traceEvents"]
+    errors, facts = check_events(events)
+    errors.extend(check_meta(doc, facts))
+    if args.require_query_span and not facts["complete_queries"]:
+        errors.append("no complete 'query' span in trace "
+                      "(--require-query-span)")
+    if args.require_morph_instants and facts["morph_with_policy"] == 0:
+        errors.append("no morph instant with a policy payload "
+                      "(--require-morph-instants)")
+
+    for err in errors:
+        print(f"{args.trace}: {err}")
+    if errors:
+        print(f"check_trace: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"check_trace: ok — {len(events)} events, "
+          f"{len(facts['complete_queries'])} complete query span(s), "
+          f"{facts['morph_with_policy']} morph instant(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

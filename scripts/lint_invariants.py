@@ -25,6 +25,11 @@ one of the engine's structural invariants:
                      anywhere in src/ outside the latch wrapper: all
                      latching goes through latch::Latch so the rank
                      validator and the thread safety analysis see it.
+  obs-accounting     No SimDisk / CpuMeter / Charge references inside
+                     src/obs/: observability is bookkeeping only (atomics
+                     and the wall clock), which is what keeps simulated
+                     per-query cost bit-identical with metrics/tracing on
+                     or off.
 
 A deliberate exception is suppressed with `lint:allow(<rule>)` in a comment
 on the offending line or the line directly above it — greppable, per-rule,
@@ -97,6 +102,13 @@ RULES = [
         "message": "raw mutex primitive outside the latch wrapper "
                    "(use latch::Latch / LatchGuard / UniqueLatch)",
         "applies": lambda rel: rel not in WRAPPER_FILES,
+    },
+    {
+        "name": "obs-accounting",
+        "pattern": re.compile(r"\bSimDisk\b|\bCpuMeter\b|\bCharge\w*\b"),
+        "message": "accounting primitive referenced from src/obs/ "
+                   "(observability must never touch simulated cost)",
+        "applies": lambda rel: rel.startswith("obs" + os.sep),
     },
 ]
 

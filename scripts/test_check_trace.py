@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Self-test of the trace validator: doctored traces prove every check fires
+on its violation shape and stays quiet on valid exports. Run directly (CI)
+or via ctest.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_trace  # noqa: E402
+
+
+def ev(ph, name, tid=1, ts=0, **args):
+    e = {"name": name, "ph": ph, "ts": ts, "pid": 1, "tid": tid}
+    if args:
+        e["args"] = args
+    return e
+
+
+def trace(events, rings=None):
+    doc = {"traceEvents": events}
+    if rings is not None:
+        doc["smoothscanMeta"] = {"rings": rings}
+    return doc
+
+
+class CheckTraceTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_check(self, doc, flags=()):
+        path = os.path.join(self.tmp.name, "t.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return check_trace.main([path, *flags])
+
+    def valid_doc(self):
+        return trace([
+            ev("M", "thread_name", ts=0),
+            ev("i", "submit", ts=1, qid=7, lane="batch"),
+            ev("B", "query", ts=2, qid=7, lane=0),
+            ev("B", "scan", ts=3, qid=7, kind=2),
+            ev("i", "morph_grow", ts=4, qid=7, region_pages=8,
+               policy="elastic"),
+            ev("E", "scan", ts=5),
+            ev("E", "query", ts=6),
+        ], rings=[{"tid": 1, "recorded": 6, "dropped": 0}])
+
+    def test_valid_trace_passes(self):
+        self.assertEqual(self.run_check(self.valid_doc()), 0)
+
+    def test_acceptance_flags_pass_on_valid(self):
+        self.assertEqual(
+            self.run_check(self.valid_doc(),
+                           ["--require-query-span",
+                            "--require-morph-instants"]), 0)
+
+    def test_non_monotonic_ts_fails(self):
+        doc = trace([ev("i", "a", ts=5), ev("i", "b", ts=4)])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_ts_monotonic_per_tid_not_globally(self):
+        # Interleaved tracks may go "backwards" across tids — that's fine.
+        doc = trace([ev("i", "a", tid=1, ts=5), ev("i", "b", tid=2, ts=1)])
+        self.assertEqual(self.run_check(doc), 0)
+
+    def test_unbalanced_end_fails(self):
+        doc = trace([ev("E", "query", ts=1)])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_unclosed_begin_fails(self):
+        doc = trace([ev("B", "query", ts=1, qid=3)])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_mismatched_end_name_fails(self):
+        doc = trace([ev("B", "query", ts=1), ev("E", "scan", ts=2)])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_overflow_marker_without_meta_drops_fails(self):
+        doc = trace([ev("i", "ring_overflow", ts=1, dropped=4)],
+                    rings=[{"tid": 1, "recorded": 9, "dropped": 0}])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_meta_drops_without_overflow_marker_fails(self):
+        doc = trace([ev("i", "submit", ts=1, qid=1),
+                     ev("B", "query", ts=2, qid=1),
+                     ev("E", "query", ts=3)],
+                    rings=[{"tid": 1, "recorded": 9, "dropped": 4}])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_overflow_marker_matching_meta_passes(self):
+        doc = trace([ev("i", "ring_overflow", ts=1, dropped=4)],
+                    rings=[{"tid": 1, "recorded": 9, "dropped": 4}])
+        self.assertEqual(self.run_check(doc), 0)
+
+    def test_qid_without_query_span_fails_when_nothing_dropped(self):
+        doc = trace([ev("i", "morph_grow", ts=1, qid=9, policy="elastic")],
+                    rings=[{"tid": 1, "recorded": 1, "dropped": 0}])
+        self.assertEqual(self.run_check(doc), 1)
+
+    def test_qid_without_query_span_tolerated_under_drops(self):
+        # The query span may have been overwritten by ring overflow.
+        doc = trace([ev("i", "ring_overflow", ts=0, dropped=2),
+                     ev("i", "morph_grow", ts=1, qid=9, policy="elastic")],
+                    rings=[{"tid": 1, "recorded": 3, "dropped": 2}])
+        self.assertEqual(self.run_check(doc), 0)
+
+    def test_require_query_span_fails_without_one(self):
+        doc = trace([ev("i", "submit", ts=1)])
+        self.assertEqual(self.run_check(doc, ["--require-query-span"]), 1)
+
+    def test_require_morph_fails_without_policy_payload(self):
+        doc = trace([ev("B", "query", ts=1, qid=1),
+                     ev("i", "morph_grow", ts=2, qid=1, region_pages=4),
+                     ev("E", "query", ts=3)])
+        self.assertEqual(
+            self.run_check(doc, ["--require-morph-instants"]), 1)
+
+    def test_malformed_json_fails(self):
+        path = os.path.join(self.tmp.name, "bad.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("not json")
+        self.assertEqual(check_trace.main([path]), 1)
+
+    def test_missing_trace_events_fails(self):
+        self.assertEqual(self.run_check({"foo": []}), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -85,6 +85,14 @@ class LintTest(unittest.TestCase):
         rels = [rel for (rel, _, _, _) in self.lint()]
         self.assertNotIn(os.path.join("common", "latch_rank.h"), rels)
 
+    def test_obs_accounting_fires_in_obs_only(self):
+        self.write("obs/sampler.cc",
+                   "void F(SimDisk* d) { d->Access(r); }\n"
+                   "void G(CpuMeter* c) { c->ChargeTuples(1); }\n")
+        self.write("access/scan.cc",  # Accounting is access/'s whole job.
+                   "void H(SimDisk* d, CpuMeter* c) { (void)d; (void)c; }\n")
+        self.assertEqual(self.names(), ["obs-accounting", "obs-accounting"])
+
     def test_same_line_allow_suppresses(self):
         self.write("access/scan.cc",
                    "engine_->disk().Access(r);  // lint:allow(ctx-charging)\n")

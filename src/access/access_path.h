@@ -40,6 +40,7 @@
 #include "common/batch_carry.h"
 #include "common/status.h"
 #include "common/tuple_batch.h"
+#include "obs/obs_context.h"
 #include "storage/exec_context.h"
 #include "storage/schema.h"
 
@@ -84,6 +85,12 @@ class AccessPath {
   /// to restore the default (engine) accounting.
   void SetExecContext(const ExecContext* ctx) { ctx_override_ = ctx; }
 
+  /// Attaches the query's observability handle (metric registry + trace
+  /// collector + query id). Same contract as SetExecContext: set before
+  /// Open(), must outlive the open cycle, null to detach. Emission is
+  /// bookkeeping only — attaching never changes simulated cost.
+  void SetObs(const obs::ObsContext* o) { obs_ = o; }
+
  protected:
   /// Subclass hooks. NextBatchImpl appends to `out` (already cleared) and
   /// returns !out->empty(); it is never called again after returning false
@@ -99,11 +106,16 @@ class AccessPath {
   /// path instance, so index iterators may hold &ctx().
   const ExecContext& ctx() const { return ctx_; }
 
+  /// The attached observability handle, or null (most call sites pass this
+  /// straight to obs:: helpers, which are null-safe).
+  const obs::ObsContext* obs() const { return obs_; }
+
   AccessPathStats stats_;
 
  private:
   BatchCarry carry_;  ///< Shared adapter buffering (see batch_carry.h).
   const ExecContext* ctx_override_ = nullptr;
+  const obs::ObsContext* obs_ = nullptr;
   ExecContext ctx_;
 };
 

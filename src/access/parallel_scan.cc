@@ -8,6 +8,7 @@
 #include "access/page_id_cache.h"
 #include "access/tuple_id_cache.h"
 #include "index/bplus_tree.h"
+#include "obs/trace.h"
 
 namespace smoothscan {
 
@@ -50,6 +51,7 @@ ParallelScan::ParallelScan(Engine* engine,
     // re-Open starts with every batch of the previous cycle warm.
     BatchPoolOptions pool_options;
     pool_options.recycle = options_.recycle_batches;
+    pool_options.metrics = options_.batch_metrics;
     owned_pool_ = std::make_unique<BatchPool>(pool_options, options_.mem);
     pool_ = owned_pool_.get();
   }
@@ -106,6 +108,7 @@ Status ParallelScan::OpenImpl() {
   // Serial prolog on the planning stream. Workers are not running yet, so the
   // prolog emits into slot 0 without locking concerns.
   planning_ = std::make_unique<MorselContext>(engine_, options_.mirror_pool);
+  planning_->pool().SetMetricsSink(options_.pool_metrics);
   planning_->SetBatchPool(pool_);
   planning_->SetMemScope(options_.mem);
   std::vector<PooledBatch> prolog;
@@ -128,6 +131,7 @@ Status ParallelScan::OpenImpl() {
   for (size_t i = 0; i < morsels.size(); ++i) {
     contexts_.push_back(
         std::make_unique<MorselContext>(engine_, options_.mirror_pool));
+    contexts_.back()->pool().SetMetricsSink(options_.pool_metrics);
     contexts_.back()->SetBatchPool(pool_);
     contexts_.back()->SetMemScope(options_.mem);
   }
@@ -144,6 +148,11 @@ Status ParallelScan::OpenImpl() {
       Morsel m;
       while (source_->Next(&m)) {
         MorselContext& mc = *contexts_[m.index];
+        // Worker-ring span around the morsel; the index payload lets a
+        // Perfetto view line morsels up against the queue they drained from.
+        obs::TraceSpan morsel_span(options_.trace, options_.trace_query_id,
+                                   "morsel", "morsel_index",
+                                   static_cast<int64_t>(m.index));
         morsel_stats_[m.index] = kernel_->RunMorsel(
             m, mc.ctx(),
             [this, &m](PooledBatch&& b) { EmitTo(m.index + 1, std::move(b)); });
@@ -587,11 +596,14 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
  public:
   ParallelSmoothScanKernel(const BPlusTree* index, ScanPredicate predicate,
                            SmoothScanOptions scan_options,
-                           uint32_t morsel_pages)
+                           uint32_t morsel_pages, obs::TraceCollector* trace,
+                           uint64_t trace_query_id)
       : index_(index),
         predicate_(std::move(predicate)),
         scan_options_(scan_options),
-        morsel_pages_(morsel_pages) {}
+        morsel_pages_(morsel_pages),
+        trace_(trace),
+        trace_query_id_(trace_query_id) {}
 
   const char* name() const override { return "ParallelSmoothScan"; }
 
@@ -700,10 +712,21 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
       if (scan_options_.enable_flattening) {
         // Serial policy applied to this stream's own observations (Eqs. 1-2
         // over the morsel's pages) — deterministic at any DOP.
+        const uint32_t region_before = region_pages;
         region_pages = MorphRegionStep(
             scan_options_.policy, region_pages, scan_options_.max_region_pages,
             ss.pages_seen, ss.pages_with_results, region_pages_seen,
             region_result_pages, &ss.expansions, &ss.shrinks);
+        if (trace_ != nullptr && region_pages != region_before) {
+          // Morph timeline at any DOP: each worker's instants land on its
+          // own ring. Bookkeeping only — the step above already settled.
+          trace_->Instant(
+              trace_query_id_,
+              region_pages > region_before ? "morph_grow" : "morph_shrink",
+              "region_pages", region_pages, "morsel",
+              static_cast<int64_t>(m.index), nullptr, 0, "policy",
+              MorphPolicyToString(scan_options_.policy));
+        }
       }
       ss.pages_seen += region_pages_seen;
       ss.pages_with_results += region_result_pages;
@@ -717,6 +740,8 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
   ScanPredicate predicate_;
   SmoothScanOptions scan_options_;
   uint32_t morsel_pages_;
+  obs::TraceCollector* trace_;
+  uint64_t trace_query_id_;
 
   std::unique_ptr<ConcurrentPageIdCache> shared_cache_;
   std::vector<std::vector<Tid>> buckets_;
@@ -786,7 +811,8 @@ std::unique_ptr<ParallelScan> MakeParallelSmoothScan(
   return std::make_unique<ParallelScan>(
       index->heap()->engine(),
       std::make_unique<ParallelSmoothScanKernel>(
-          index, std::move(predicate), scan_options, options.morsel_pages),
+          index, std::move(predicate), scan_options, options.morsel_pages,
+          options.trace, options.trace_query_id),
       options);
 }
 

@@ -86,6 +86,18 @@ struct ParallelScanOptions {
   /// Ablation knob for the owned pool: false reverts to allocate-per-batch
   /// (bench_mem_governance's baseline). No effect on an external pool.
   bool recycle_batches = true;
+  /// Trace collector for per-morsel worker spans ("morsel" B/E on each
+  /// worker's ring, stamped with `trace_query_id`). Null = no tracing.
+  /// Bookkeeping only — never touches morsel accounting.
+  obs::TraceCollector* trace = nullptr;
+  uint64_t trace_query_id = 0;
+  /// Registry counters for the owned batch pool (ignored for an external
+  /// pool, which carries its own sink in its own options).
+  BatchPoolMetricsSink batch_metrics;
+  /// Registry counters fed by every morsel (and planning) pool's hit/miss
+  /// bumps — the pools that actually do accounting; the mirror pool does
+  /// none. Relaxed counter adds only; simulated cost never changes.
+  BufferPoolMetricsSink pool_metrics;
 };
 
 /// The path-specific logic of a parallel scan. Plan() runs serially on the

@@ -32,6 +32,10 @@
 
 namespace smoothscan {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class TableVersionRegistry;
 
 struct ResultCacheOptions {
@@ -47,6 +51,13 @@ struct ResultCacheOptions {
   MemoryBroker* broker = nullptr;
   /// Resident-footprint estimate per cached tuple for broker accounting.
   uint32_t bytes_per_tuple = 128;
+  /// Live registry counters for spill/restore events (all-null = off). The
+  /// owning SmoothScan latches ResultCacheStats into SmoothScanStats only at
+  /// Close(); these fire at the event itself, so mid-query pressure response
+  /// is visible in a snapshot or trace taken while the scan is running.
+  obs::Counter* spill_events = nullptr;
+  obs::Counter* pressure_spill_events = nullptr;
+  obs::Counter* restore_events = nullptr;
 };
 
 struct ResultCacheStats {

@@ -90,6 +90,19 @@ Status SmoothScan::OpenImpl() {
   result_cache_.reset();
   page_cache_ = std::make_unique<PageIdCache>(index_->heap()->num_pages());
 
+  cache_skip_run_ = 0;
+  c_morph_triggers_ = nullptr;
+  c_region_grows_ = nullptr;
+  c_region_shrinks_ = nullptr;
+  c_page_cache_hits_ = nullptr;
+  if (obs() != nullptr && obs()->metrics != nullptr) {
+    obs::MetricsRegistry* m = obs()->metrics;
+    c_morph_triggers_ = m->counter("smooth.morph_triggers");
+    c_region_grows_ = m->counter("smooth.region_grows");
+    c_region_shrinks_ = m->counter("smooth.region_shrinks");
+    c_page_cache_hits_ = m->counter("smooth.page_cache_hits");
+  }
+
   switch (options_.trigger) {
     case MorphTrigger::kEager:
       morphing_ = true;
@@ -117,9 +130,21 @@ Status SmoothScan::OpenImpl() {
     ResultCacheOptions rc_options;
     rc_options.max_resident_tuples = options_.result_cache_budget;
     rc_options.broker = options_.broker;
+    if (obs() != nullptr && obs()->metrics != nullptr) {
+      // Live spill/restore counters: SmoothScanStats only latches the
+      // ResultCache spill numbers at Close(), but these fire at the event,
+      // making mid-query pressure response observable.
+      obs::MetricsRegistry* m = obs()->metrics;
+      rc_options.spill_events = m->counter("rc.spills");
+      rc_options.pressure_spill_events = m->counter("rc.pressure_spills");
+      rc_options.restore_events = m->counter("rc.restores");
+    }
     result_cache_ = std::make_unique<ResultCache>(
         index_->RootSeparators(), index_->heap()->engine(), rc_options);
   }
+  obs::EmitInstant(obs(), "smooth_open", "max_region_pages",
+                   options_.max_region_pages, nullptr, 0, nullptr, 0, "policy",
+                   MorphPolicyToString(active_policy_));
   it_ = index_->Seek(predicate_.lo, &ctx());
   // A zero pre-trigger bound (e.g. an optimizer estimate of 0 tuples) means
   // the very first tuple already violates it: morph immediately.
@@ -128,6 +153,7 @@ Status SmoothScan::OpenImpl() {
 }
 
 void SmoothScan::CloseImpl() {
+  FlushCacheSkipRun();
   // Release every auxiliary structure (page/tuple caches, result cache and
   // its spill file references, buffered tuples, the index iterator). The
   // next Open() rebuilds them from scratch.
@@ -153,6 +179,11 @@ void SmoothScan::MaybeTrigger() {
     morphing_ = true;
     sstats_.triggered = true;
     sstats_.trigger_cardinality = stats_.tuples_produced;
+    if (c_morph_triggers_ != nullptr) c_morph_triggers_->Add();
+    obs::EmitInstant(obs(), "morph_trigger", "cardinality",
+                     static_cast<int64_t>(stats_.tuples_produced),
+                     "region_pages", region_pages_, nullptr, 0, "trigger",
+                     MorphTriggerToString(options_.trigger));
   }
 }
 
@@ -183,13 +214,45 @@ void SmoothScan::Mode0Step(TupleBatch* out) {
   MaybeTrigger();
 }
 
+int64_t SmoothScan::GlobalSelectivityPpm() const {
+  if (sstats_.pages_seen == 0) return 0;
+  return static_cast<int64_t>(sstats_.pages_with_results * 1000000 /
+                              sstats_.pages_seen);
+}
+
+void SmoothScan::FlushCacheSkipRun() {
+  if (cache_skip_run_ == 0) return;
+  obs::EmitInstant(obs(), "page_cache_skip_run", "pages",
+                   static_cast<int64_t>(cache_skip_run_));
+  cache_skip_run_ = 0;
+}
+
 void SmoothScan::UpdatePolicy(uint64_t region_pages,
                               uint64_t region_result_pages) {
   if (!options_.enable_flattening) return;
+  const uint32_t before = region_pages_;
+  // Eq. 1 (local, this region) vs Eq. 2 (global, pages seen before it) —
+  // captured before MorphRegionStep folds the region into the globals.
+  const int64_t local_ppm =
+      region_pages == 0 ? 0
+                        : static_cast<int64_t>(region_result_pages * 1000000 /
+                                               region_pages);
+  const int64_t global_ppm = GlobalSelectivityPpm();
   region_pages_ = MorphRegionStep(
       active_policy_, region_pages_, options_.max_region_pages,
       sstats_.pages_seen, sstats_.pages_with_results, region_pages,
       region_result_pages, &sstats_.expansions, &sstats_.shrinks);
+  if (region_pages_ > before) {
+    if (c_region_grows_ != nullptr) c_region_grows_->Add();
+    obs::EmitInstant(obs(), "morph_grow", "region_pages", region_pages_,
+                     "local_sel_ppm", local_ppm, "global_sel_ppm", global_ppm,
+                     "policy", MorphPolicyToString(active_policy_));
+  } else if (region_pages_ < before) {
+    if (c_region_shrinks_ != nullptr) c_region_shrinks_->Add();
+    obs::EmitInstant(obs(), "morph_shrink", "region_pages", region_pages_,
+                     "local_sel_ppm", local_ppm, "global_sel_ppm", global_ppm,
+                     "policy", MorphPolicyToString(active_policy_));
+  }
 }
 
 void SmoothScan::FetchRegionAndHarvest(PageId target, TupleBatch* out) {
@@ -349,9 +412,12 @@ void SmoothScan::NextUnordered(TupleBatch* out) {
     const Tid tid = it_->tid();
     ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
     if (page_cache_->IsMarked(tid.page_id)) {
+      if (c_page_cache_hits_ != nullptr) c_page_cache_hits_->Add();
+      ++cache_skip_run_;
       it_->Next();  // Skip the leaf pointer (the X marks in Fig. 3).
       continue;
     }
+    FlushCacheSkipRun();
     FetchRegionAndHarvest(tid.page_id, out);
     it_->Next();
   }
@@ -376,10 +442,14 @@ void SmoothScan::NextOrdered(TupleBatch* out) {
     } else {
       ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
       if (!page_cache_->IsMarked(tid.page_id)) {
+        FlushCacheSkipRun();
         FetchRegionAndHarvest(tid.page_id, /*out=*/nullptr);
         // The entry's tuple is now cached unless it failed the residual
         // predicate or was produced pre-trigger.
         cached = result_cache_->Take(key, tid);
+      } else {
+        if (c_page_cache_hits_ != nullptr) c_page_cache_hits_->Add();
+        ++cache_skip_run_;
       }
     }
     it_->Next();

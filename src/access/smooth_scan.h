@@ -202,6 +202,14 @@ class SmoothScan : public AccessPath {
   void FetchRegionAndHarvest(PageId target, TupleBatch* out);
   void UpdatePolicy(uint64_t region_pages, uint64_t region_result_pages);
 
+  /// Observed global selectivity so far (Eq. 2), in parts per million — the
+  /// integer payload the morph trace instants carry.
+  int64_t GlobalSelectivityPpm() const;
+  /// Emits the pending Page-ID-Cache skip run (if any) as one coalesced
+  /// trace instant. Per-hit instants would flood the ring and evict the
+  /// grow/shrink timeline; the counter still counts every hit.
+  void FlushCacheSkipRun();
+
   const BPlusTree* index_;
   ScanPredicate predicate_;
   SmoothScanOptions options_;
@@ -226,6 +234,14 @@ class SmoothScan : public AccessPath {
   std::vector<Tuple> emit_;
   size_t emit_pos_ = 0;
   uint32_t region_pages_ = 1;
+
+  // Registry handles cached at Open (null when no registry is attached) and
+  // the pending coalesced Page-ID-Cache skip run (see FlushCacheSkipRun).
+  obs::Counter* c_morph_triggers_ = nullptr;
+  obs::Counter* c_region_grows_ = nullptr;
+  obs::Counter* c_region_shrinks_ = nullptr;
+  obs::Counter* c_page_cache_hits_ = nullptr;
+  uint64_t cache_skip_run_ = 0;
 };
 
 }  // namespace smoothscan

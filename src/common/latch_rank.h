@@ -44,6 +44,22 @@ enum class LatchRank : int {
   kUnranked = 0,  ///< Never lockable; reserved to reject unranked latches.
 
   // --- leaves (innermost) ------------------------------------------------
+  kObsTraceRing = 102,  ///< obs::TraceRing::mu_ (one per worker thread).
+                        ///< Events are emitted from under any engine latch
+                        ///< (morph steps run under kParallelScan, publish
+                        ///< instants under kRegistryTable), so rings sit at
+                        ///< the very bottom; nothing is acquired under one.
+  kObsTrace = 104,      ///< obs::TraceCollector::mu_ (ring directory).
+                        ///< Registration happens on first emit from a
+                        ///< thread — under arbitrary engine latches — and
+                        ///< Export locks each ring (→ 102) under it.
+  kObsMetrics = 105,    ///< obs::MetricsRegistry::mu_. Metric registration
+                        ///< is legal from under any engine latch (paths
+                        ///< register counters inside Open, which can run
+                        ///< under kParallelScan); only leaf data under it.
+  kObsSampler = 115,    ///< obs::RegistrySampler::mu_ (tick cv). Ranked
+                        ///< above kBroker/kObsMetrics: a sampler tick reads
+                        ///< broker snapshots and registry gauges under it.
   kBroker = 110,     ///< MemoryBroker::mu_. BatchPool charges its account
                      ///< scope while holding the pool latch, so the broker
                      ///< sits below the pool.

@@ -4,7 +4,11 @@
 #include <cmath>
 
 #include "compress/compressed_scan.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "sharing/shared_scan_path.h"
+#include "storage/buffer_pool.h"
 
 namespace smoothscan {
 
@@ -73,6 +77,37 @@ QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
           }
         });
   }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* r = options_.metrics;
+    c_submitted_ = r->counter("engine.submitted");
+    c_completed_ = r->counter("engine.completed");
+    c_compressed_fallbacks_ = r->counter("engine.compressed_fallbacks");
+    g_lane_depth_[static_cast<int>(QueryLane::kBatch)] =
+        r->gauge("engine.lane_batch_depth");
+    g_lane_depth_[static_cast<int>(QueryLane::kSla)] =
+        r->gauge("engine.lane_sla_depth");
+    g_running_ = r->gauge("engine.running");
+    h_queue_wait_us_ = r->histogram("engine.queue_wait_us");
+    h_exec_us_ = r->histogram("engine.exec_us");
+    h_latency_us_ = r->histogram("engine.latency_us");
+    c_bpool_acquires_ = r->counter("batchpool.acquires");
+    c_bpool_reuses_ = r->counter("batchpool.reuses");
+    c_bpool_releases_ = r->counter("batchpool.releases");
+    c_bpool_sheds_ = r->counter("batchpool.sheds");
+    // Buffer-pool counters: per-query and per-morsel pools (the accounting
+    // pools) get this sink at construction; the shared pool gets it here —
+    // before the executors spawn, so no fetch can race the attach — for the
+    // communal write-back traffic that bypasses query streams.
+    bp_sink_.hits = r->counter("bufferpool.hits");
+    bp_sink_.misses = r->counter("bufferpool.misses");
+    bp_sink_.write_backs = r->counter("bufferpool.write_backs");
+    engine_->pool().SetMetricsSink(bp_sink_);
+  }
+  if (options_.versions != nullptr && options_.tracing != nullptr) {
+    // Publish-at-quiescence instants land on whichever thread drops the last
+    // lease. Same set-before-first-lease contract as the sink above.
+    options_.versions->SetTrace(options_.tracing);
+  }
   executors_.reserve(options_.max_admitted);
   for (uint32_t i = 0; i < options_.max_admitted; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
@@ -86,6 +121,17 @@ QueryEngine::~QueryEngine() {
   }
   cv_submit_.notify_all();
   for (std::thread& t : executors_) t.join();
+  if (options_.metrics != nullptr) {
+    // Executors are joined: nothing fetches through the shared pool on this
+    // engine's behalf anymore, so the sink detaches under the same
+    // quiescence its attach relied on. The registry may outlive this engine.
+    engine_->pool().SetMetricsSink(BufferPoolMetricsSink{});
+  }
+  if (options_.versions != nullptr && options_.tracing != nullptr) {
+    // Like the publish hook below: a registry outliving this engine must not
+    // emit into a possibly-freed collector at its next publish.
+    options_.versions->SetTrace(nullptr);
+  }
   if (publish_hook_token_ != 0) {
     // The hook captured the coordinator and extent map; a registry outliving
     // this engine must not call into possibly-freed collaborators on its
@@ -105,6 +151,8 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
   p.spec = std::move(spec);
   p.share_eligible = ShareEligible(p.spec);  // Once, outside the lock.
   p.submitted = std::chrono::steady_clock::now();
+  const QueryLane lane = p.spec.lane;
+  const bool share_eligible = p.share_eligible;
   QueryId id;
   {
     latch::LatchGuard lock(mu_);
@@ -112,9 +160,20 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
     p.id = id;
     records_[id];  // Reserve the completion slot.
     ++outstanding_;
-    lanes_[static_cast<int>(p.spec.lane)].push_back(std::move(p));
+    std::deque<Pending>& q = lanes_[static_cast<int>(lane)];
+    q.push_back(std::move(p));
+    if (g_lane_depth_[static_cast<int>(lane)] != nullptr) {
+      g_lane_depth_[static_cast<int>(lane)]->Set(
+          static_cast<int64_t>(q.size()));
+    }
   }
   cv_submit_.notify_one();
+  if (c_submitted_ != nullptr) c_submitted_->Add();
+  if (options_.tracing != nullptr) {
+    options_.tracing->Instant(id, "submit", "share_eligible",
+                              share_eligible ? 1 : 0, nullptr, 0, nullptr, 0,
+                              "lane", QueryLaneToString(lane));
+  }
   return id;
 }
 
@@ -197,20 +256,50 @@ void QueryEngine::ExecutorLoop() {
       lane.erase(it);
       ++admitted_now_;
       peak_admitted_ = std::max(peak_admitted_, admitted_now_);
+      for (int i = 0; i < 2; ++i) {
+        if (g_lane_depth_[i] != nullptr) {
+          g_lane_depth_[i]->Set(static_cast<int64_t>(lanes_[i].size()));
+        }
+      }
+      if (g_running_ != nullptr) {
+        g_running_->Set(static_cast<int64_t>(admitted_now_));
+      }
       admit_time = std::chrono::steady_clock::now();
     }
 
-    QueryResult result = Execute(std::move(p.spec));
+    QueryResult result;
+    {
+      // The "query" span covers admission → completion on this executor;
+      // queue wait rides along as an arg so the span tree alone tells the
+      // whole submit → done story.
+      obs::TraceSpan query_span(
+          options_.tracing, p.id, "query", "lane",
+          static_cast<int64_t>(p.spec.lane), "queue_us",
+          static_cast<int64_t>(MsBetween(p.submitted, admit_time) * 1000.0));
+      result = Execute(p.id, std::move(p.spec));
+    }
     const auto end = std::chrono::steady_clock::now();
     result.metrics.queue_wait_ms = MsBetween(p.submitted, admit_time);
     result.metrics.exec_ms = MsBetween(admit_time, end);
     result.metrics.latency_ms = MsBetween(p.submitted, end);
+    if (h_latency_us_ != nullptr) {
+      h_queue_wait_us_->Record(
+          static_cast<uint64_t>(result.metrics.queue_wait_ms * 1000.0));
+      h_exec_us_->Record(
+          static_cast<uint64_t>(result.metrics.exec_ms * 1000.0));
+      h_latency_us_->Record(
+          static_cast<uint64_t>(result.metrics.latency_ms * 1000.0));
+    }
+    if (c_completed_ != nullptr) c_completed_->Add();
 
     {
       latch::LatchGuard lock(mu_);
       --admitted_now_;
       ++completed_;
       --outstanding_;
+      if (g_running_ != nullptr) {
+        g_running_->Set(static_cast<int64_t>(admitted_now_));
+      }
       Record& rec = records_[p.id];
       rec.result = std::move(result);
       rec.done = true;
@@ -270,7 +359,7 @@ bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
          (kind == PathKind::kCompressedScan && compressed_shared);
 }
 
-QueryResult QueryEngine::ExecuteWrite(QuerySpec spec) {
+QueryResult QueryEngine::ExecuteWrite(QueryId id, QuerySpec spec) {
   QueryResult res;
   QueryMetrics& m = res.metrics;
   m.lane = spec.lane;
@@ -282,8 +371,15 @@ QueryResult QueryEngine::ExecuteWrite(QuerySpec spec) {
   // stream at flush; see write/table_writer.h).
   QueryContext qctx(engine_,
                     options_.mirror_pages ? &engine_->pool() : nullptr);
+  qctx.pool().SetMetricsSink(bp_sink_);
   uint64_t applied = 0;
-  res.status = spec.writer->Apply(spec.write_ops, qctx.ctx(), &applied);
+  {
+    // Covers the ticket wait inside Apply too — publish waits show up as
+    // span length, never as simulated cost.
+    obs::TraceSpan apply_span(options_.tracing, id, "write_apply", "ops",
+                              static_cast<int64_t>(spec.write_ops.size()));
+    res.status = spec.writer->Apply(spec.write_ops, qctx.ctx(), &applied);
+  }
   // Metrics are captured even on a mid-batch failure: the ops before the
   // error were applied (and will publish), so their cost is real.
   m.tuples = applied;
@@ -298,11 +394,22 @@ QueryResult QueryEngine::ExecuteWrite(QuerySpec spec) {
   return res;
 }
 
-QueryResult QueryEngine::Execute(QuerySpec spec) {
-  if (spec.writer != nullptr) return ExecuteWrite(std::move(spec));
+QueryResult QueryEngine::Execute(QueryId id, QuerySpec spec) {
+  if (spec.writer != nullptr) return ExecuteWrite(id, std::move(spec));
   QueryResult res;
   QueryMetrics& m = res.metrics;
   m.lane = spec.lane;
+
+  // Per-query observability context, threaded to the access path via
+  // SetObs. Emission is atomics + wall clock only — the accounting stack
+  // built below never sees it, which is what keeps simulated cost
+  // bit-identical with observability on or off.
+  obs::ObsContext octx;
+  octx.metrics = options_.metrics;
+  octx.trace = options_.tracing;
+  octx.query_id = id;
+  const obs::ObsContext* obs_ctx =
+      (octx.metrics != nullptr || octx.trace != nullptr) ? &octx : nullptr;
 
   // Snapshot pin: for the scan's lifetime the table's base pages are frozen
   // (writers go copy-on-write; publish waits for the last lease), so the
@@ -310,6 +417,11 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
   // this snapshot.
   TableVersionRegistry::ReadLease lease;
   if (options_.versions != nullptr) {
+    // AcquireRead publishes a pending era inline at quiescence, so this span
+    // is where a reader's publish wait becomes visible.
+    obs::TraceSpan lease_span(
+        options_.tracing, id, "lease", "file",
+        static_cast<int64_t>(spec.index->heap()->file_id()));
     lease = options_.versions->AcquireRead(spec.index->heap()->file_id());
   }
 
@@ -352,12 +464,18 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     // keyed on this predicate's column. The heap full scan produces the
     // identical multiset from the identical snapshot.
     kind = PathKind::kFullScan;
+    if (c_compressed_fallbacks_ != nullptr) c_compressed_fallbacks_->Add();
+    obs::EmitInstant(obs_ctx, "compressed_fallback", "file",
+                     static_cast<int64_t>(spec.index->heap()->file_id()));
   }
   m.kind = kind;
 
-  // Per-query accounting stack; page pins mirror into the shared pool.
+  // Per-query accounting stack; page pins mirror into the shared pool. The
+  // private pool is where this query's hits and misses are counted, so it —
+  // not the mirror — feeds the registry's bufferpool.* counters.
   QueryContext qctx(engine_,
                     options_.mirror_pages ? &engine_->pool() : nullptr);
+  qctx.pool().SetMetricsSink(bp_sink_);
   // Per-query execution-memory account: batch pools charge it; a quota
   // breach or global broker pressure sheds their recycled storage. Pure
   // governance — the accounting stack above is untouched.
@@ -383,6 +501,13 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
       po.account_cpu = &qctx.cpu();
       po.mirror_pool = options_.mirror_pages ? &engine_->pool() : nullptr;
       po.mem = &mem_scope;
+      po.trace = options_.tracing;
+      po.trace_query_id = id;
+      po.batch_metrics.acquires = c_bpool_acquires_;
+      po.batch_metrics.reuses = c_bpool_reuses_;
+      po.batch_metrics.releases = c_bpool_releases_;
+      po.batch_metrics.sheds = c_bpool_sheds_;
+      po.pool_metrics = bp_sink_;
       path = MakeParallelCompressedScan(engine_, extent, spec.predicate,
                                         CompressedScanOptions(), po);
       m.parallel = path != nullptr;
@@ -421,6 +546,13 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
     po.account_cpu = &qctx.cpu();
     po.mirror_pool = options_.mirror_pages ? &engine_->pool() : nullptr;
     po.mem = &mem_scope;
+    po.trace = options_.tracing;
+    po.trace_query_id = id;
+    po.batch_metrics.acquires = c_bpool_acquires_;
+    po.batch_metrics.reuses = c_bpool_reuses_;
+    po.batch_metrics.releases = c_bpool_releases_;
+    po.batch_metrics.sheds = c_bpool_sheds_;
+    po.pool_metrics = bp_sink_;
     path = MakeParallelPath(kind, spec.index, spec.predicate, spec.need_order,
                             estimate, po);
     m.parallel = path != nullptr;
@@ -430,19 +562,27 @@ QueryResult QueryEngine::Execute(QuerySpec spec) {
                     estimate);
     path->SetExecContext(&qctx.ctx());
   }
+  path->SetObs(obs_ctx);
 
-  res.status = path->Open();
-  if (res.status.ok()) {
-    TupleBatch batch;
-    while (path->NextBatch(&batch)) {
-      m.tuples += batch.size();
-      if (spec.collect_keys) {
-        for (size_t i = 0; i < batch.size(); ++i) {
-          res.keys.push_back(batch.row(i)[0].AsInt64());
+  {
+    // One span per scan regardless of which branch built the path; morph
+    // instants and per-morsel worker spans nest (logically) inside it.
+    obs::TraceSpan scan_span(options_.tracing, id, "scan", "kind",
+                             static_cast<int64_t>(kind), "dop",
+                             static_cast<int64_t>(spec.dop));
+    res.status = path->Open();
+    if (res.status.ok()) {
+      TupleBatch batch;
+      while (path->NextBatch(&batch)) {
+        m.tuples += batch.size();
+        if (spec.collect_keys) {
+          for (size_t i = 0; i < batch.size(); ++i) {
+            res.keys.push_back(batch.row(i)[0].AsInt64());
+          }
         }
       }
+      path->Close();
     }
-    path->Close();
   }
   if (shared_run) {
     latch::LatchGuard lock(mu_);

@@ -50,6 +50,14 @@ namespace smoothscan {
 
 class ScanSharingCoordinator;
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TraceCollector;
+}  // namespace obs
+
 /// Submission lanes. kSla queries are admitted before any queued kBatch
 /// query; within a lane admission is FIFO. With a ScanSharingCoordinator
 /// configured, the batch lane is additionally *share-aware*: when a shared
@@ -175,6 +183,20 @@ struct QueryEngineOptions {
   /// query's recycled batch storage instead of failing it. Unlimited by
   /// default; meaningful with or without `broker`.
   uint64_t query_quota_bytes = UINT64_MAX;
+  /// Unified metrics registry (src/obs/): the engine registers its admission
+  /// counters/gauges/latency histograms, attaches the shared buffer pool's
+  /// and each query's batch-pool sinks, and every access path registers its
+  /// own live counters (SmoothScan morph steps, ResultCache spills). Pure
+  /// bookkeeping — simulated per-query cost is bit-identical with and
+  /// without a registry. Null disables. Must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-query trace spans + morph-event timeline (src/obs/), exported as
+  /// Chrome trace-event JSON. Off (null) by default; when set, every query
+  /// gets a submit instant and a query/lease/scan span tree, parallel leaves
+  /// stamp per-morsel worker spans, and SmoothScan emits its morph timeline.
+  /// Near-zero cost disabled, bookkeeping only when enabled. Must outlive
+  /// the engine.
+  obs::TraceCollector* tracing = nullptr;
 };
 
 class QueryEngine {
@@ -228,8 +250,10 @@ class QueryEngine {
   };
 
   void ExecutorLoop() EXCLUDES(mu_);
-  QueryResult Execute(QuerySpec spec) EXCLUDES(mu_);
-  QueryResult ExecuteWrite(QuerySpec spec);
+  /// `id` attributes the query's trace spans and morph instants; it never
+  /// influences planning or accounting.
+  QueryResult Execute(QueryId id, QuerySpec spec) EXCLUDES(mu_);
+  QueryResult ExecuteWrite(QueryId id, QuerySpec spec);
   /// Whether the query will resolve to a shared scan (Pending::share_eligible
   /// — runs the chooser for use_chooser specs, so a selective query that
   /// will pick an index path never jumps the FIFO for nothing).
@@ -242,6 +266,27 @@ class QueryEngine {
 
   Engine* engine_;
   QueryEngineOptions options_;
+  // Registry handles, resolved once in the constructor (all null without
+  // options_.metrics). Engine-level admission telemetry plus the batch-pool
+  // sink handed to every parallel leaf's owned pool.
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_compressed_fallbacks_ = nullptr;
+  obs::Gauge* g_lane_depth_[2] = {nullptr, nullptr};  ///< By QueryLane.
+  obs::Gauge* g_running_ = nullptr;
+  obs::Histogram* h_queue_wait_us_ = nullptr;
+  obs::Histogram* h_exec_us_ = nullptr;
+  obs::Histogram* h_latency_us_ = nullptr;
+  obs::Counter* c_bpool_acquires_ = nullptr;
+  obs::Counter* c_bpool_reuses_ = nullptr;
+  obs::Counter* c_bpool_releases_ = nullptr;
+  obs::Counter* c_bpool_sheds_ = nullptr;
+  /// Buffer-pool counters, attached to every pool that does hit/miss
+  /// accounting on this engine's behalf: each query's private pool and every
+  /// parallel morsel pool. The shared pool gets it too, but only communal
+  /// traffic (write-back flushes) moves its stats — mirror pins are
+  /// unaccounted by design. Empty (all null) without options_.metrics.
+  BufferPoolMetricsSink bp_sink_;
   /// Broker charge for the shared buffer pool's frame memory (capacity
   /// bytes, charged once for the engine's lifetime).
   MemoryBroker::Consumer pool_consumer_;

@@ -1,5 +1,6 @@
 #include "mem/batch_pool.h"
 
+#include "obs/metrics.h"
 #include "storage/schema.h"
 
 namespace smoothscan {
@@ -40,11 +41,15 @@ BatchPool::~BatchPool() {
 PooledBatch BatchPool::Acquire() {
   latch::LatchGuard lock(mu_);
   ++stats_.acquires;
+  if (options_.metrics.acquires != nullptr) options_.metrics.acquires->Add();
   if (!free_.empty()) {
     const size_t index = free_.back();
     free_.pop_back();
     Slot& slot = slots_[index];
-    if (slot.warm) ++stats_.reuses;
+    if (slot.warm) {
+      ++stats_.reuses;
+      if (options_.metrics.reuses != nullptr) options_.metrics.reuses->Add();
+    }
     slot.warm = false;
     return PooledBatch(this, index, slot.batch);
   }
@@ -58,6 +63,7 @@ PooledBatch BatchPool::Acquire() {
 void BatchPool::Release(size_t slot_index) {
   latch::LatchGuard lock(mu_);
   ++stats_.releases;
+  if (options_.metrics.releases != nullptr) options_.metrics.releases->Add();
   Slot& slot = slots_[slot_index];
   slot.batch->Clear();
   const bool shed =
@@ -66,6 +72,7 @@ void BatchPool::Release(size_t slot_index) {
     slot.batch->ReleaseMemory();
     slot.warm = false;
     ++stats_.sheds;
+    if (options_.metrics.sheds != nullptr) options_.metrics.sheds->Add();
     if (slot.charged) {
       if (account_ != nullptr) account_->Uncharge(batch_bytes_);
       slot.charged = false;

@@ -33,7 +33,21 @@
 
 namespace smoothscan {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class BatchPool;
+
+/// Optional push-style observability sink (see BufferPoolMetricsSink): when
+/// attached via BatchPoolOptions::metrics, every stats bump also feeds the
+/// matching registry counter. Null members are not fed.
+struct BatchPoolMetricsSink {
+  obs::Counter* acquires = nullptr;
+  obs::Counter* reuses = nullptr;
+  obs::Counter* releases = nullptr;
+  obs::Counter* sheds = nullptr;
+};
 
 /// Move-only owning handle on a pooled batch; returns it to the pool on
 /// destruction (or explicit Release()). Default-constructed handles are
@@ -86,6 +100,8 @@ struct BatchPoolOptions {
   /// conservative estimate from the capacity (row headers + a nominal Value
   /// payload per row).
   uint64_t batch_bytes_hint = 0;
+  /// Registry counters mirroring this pool's stats bumps (all-null = off).
+  BatchPoolMetricsSink metrics;
 };
 
 struct BatchPoolStats {

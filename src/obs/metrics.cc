@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace smoothscan {
+namespace obs {
+
+size_t ThisThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * total).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank < total) ++rank;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+bool MetricsSnapshot::Has(std::string_view name) const {
+  for (const MetricValue& v : values) {
+    if (v.name == name) return true;
+  }
+  return false;
+}
+
+double MetricsSnapshot::Value(std::string_view name, double def) const {
+  for (const MetricValue& v : values) {
+    if (v.name == name) return v.value;
+  }
+  return def;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  latch::LatchGuard g(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end() && it->second.kind == MetricKind::kCounter) {
+    return &counters_[it->second.index];
+  }
+  SMOOTHSCAN_CHECK(it == by_name_.end());  // Same name, different kind.
+  by_name_.emplace(std::string(name),
+                   Slot{MetricKind::kCounter, counters_.size()});
+  return &counters_.emplace_back();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  latch::LatchGuard g(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end() && it->second.kind == MetricKind::kGauge) {
+    return &gauges_[it->second.index];
+  }
+  SMOOTHSCAN_CHECK(it == by_name_.end());
+  by_name_.emplace(std::string(name), Slot{MetricKind::kGauge, gauges_.size()});
+  return &gauges_.emplace_back();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  latch::LatchGuard g(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end() && it->second.kind == MetricKind::kHistogram) {
+    return &histograms_[it->second.index];
+  }
+  SMOOTHSCAN_CHECK(it == by_name_.end());
+  by_name_.emplace(std::string(name),
+                   Slot{MetricKind::kHistogram, histograms_.size()});
+  return &histograms_.emplace_back();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    latch::LatchGuard g(mu_);
+    snap.values.reserve(by_name_.size() + 4 * histograms_.size());
+    for (const auto& [name, slot] : by_name_) {
+      switch (slot.kind) {
+        case MetricKind::kCounter:
+          snap.values.push_back(
+              {name, MetricKind::kCounter,
+               static_cast<double>(counters_[slot.index].value())});
+          break;
+        case MetricKind::kGauge:
+          snap.values.push_back(
+              {name, MetricKind::kGauge,
+               static_cast<double>(gauges_[slot.index].value())});
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& h = histograms_[slot.index];
+          snap.values.push_back({name + ".count", MetricKind::kHistogram,
+                                 static_cast<double>(h.count())});
+          snap.values.push_back({name + ".sum", MetricKind::kHistogram,
+                                 static_cast<double>(h.sum())});
+          snap.values.push_back({name + ".p50", MetricKind::kHistogram,
+                                 static_cast<double>(h.ValueAtQuantile(0.50))});
+          snap.values.push_back({name + ".p95", MetricKind::kHistogram,
+                                 static_cast<double>(h.ValueAtQuantile(0.95))});
+          snap.values.push_back({name + ".p99", MetricKind::kHistogram,
+                                 static_cast<double>(h.ValueAtQuantile(0.99))});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(snap.values.begin(), snap.values.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  latch::LatchGuard g(mu_);
+  return by_name_.size();
+}
+
+}  // namespace obs
+}  // namespace smoothscan

@@ -1,0 +1,302 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+namespace smoothscan {
+namespace obs {
+namespace {
+
+uint64_t NextCollectorId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local (collector_id → ring) cache so steady-state emission skips
+// the collector directory latch entirely. Keyed by the process-unique
+// collector id, never by address: a stale entry for a destroyed collector
+// can never match a live one, so the dangling ring pointer is unreachable.
+struct RingCacheEntry {
+  uint64_t collector_id;
+  TraceRing* ring;
+};
+thread_local std::vector<RingCacheEntry> t_ring_cache;
+
+}  // namespace
+
+void TraceRing::Push(const TraceEvent& e) {
+  latch::LatchGuard g(mu_);
+  ++recorded_;
+  if (buf_.empty()) {
+    ++dropped_;
+    return;
+  }
+  if (size_ == buf_.size()) {
+    // Full: overwrite the oldest slot (head_) and advance.
+    buf_[head_] = e;
+    head_ = (head_ + 1) % buf_.size();
+    ++dropped_;
+    return;
+  }
+  buf_[(head_ + size_) % buf_.size()] = e;
+  ++size_;
+}
+
+TraceRing::Drained TraceRing::Snapshot() const {
+  latch::LatchGuard g(mu_);
+  Drained d;
+  d.recorded = recorded_;
+  d.dropped = dropped_;
+  d.events.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    d.events.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return d;
+}
+
+TraceCollector::TraceCollector(size_t ring_capacity)
+    : collector_id_(NextCollectorId()),
+      ring_capacity_(ring_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceCollector::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRing* TraceCollector::ThisThreadRing() {
+  for (const RingCacheEntry& e : t_ring_cache) {
+    if (e.collector_id == collector_id_) return e.ring;
+  }
+  TraceRing* ring = nullptr;
+  {
+    latch::LatchGuard g(mu_);
+    rings_.push_back(std::make_unique<TraceRing>(
+        static_cast<uint64_t>(rings_.size()) + 1, ring_capacity_));
+    ring = rings_.back().get();
+  }
+  t_ring_cache.push_back({collector_id_, ring});
+  return ring;
+}
+
+void TraceCollector::Begin(uint64_t query_id, const char* name, const char* k0,
+                           int64_t v0, const char* k1, int64_t v1) {
+  TraceEvent e;
+  e.ts_us = NowMicros();
+  e.query_id = query_id;
+  e.name = name;
+  e.type = TraceEventType::kBegin;
+  e.k0 = k0;
+  e.v0 = v0;
+  e.k1 = k1;
+  e.v1 = v1;
+  ThisThreadRing()->Push(e);
+}
+
+void TraceCollector::End(uint64_t query_id, const char* name) {
+  TraceEvent e;
+  e.ts_us = NowMicros();
+  e.query_id = query_id;
+  e.name = name;
+  e.type = TraceEventType::kEnd;
+  ThisThreadRing()->Push(e);
+}
+
+void TraceCollector::Instant(uint64_t query_id, const char* name,
+                             const char* k0, int64_t v0, const char* k1,
+                             int64_t v1, const char* k2, int64_t v2,
+                             const char* sk, const char* sv) {
+  TraceEvent e;
+  e.ts_us = NowMicros();
+  e.query_id = query_id;
+  e.name = name;
+  e.type = TraceEventType::kInstant;
+  e.k0 = k0;
+  e.v0 = v0;
+  e.k1 = k1;
+  e.v1 = v1;
+  e.k2 = k2;
+  e.v2 = v2;
+  e.sk = sk;
+  e.sv = sv;
+  ThisThreadRing()->Push(e);
+}
+
+size_t TraceCollector::num_rings() const {
+  latch::LatchGuard g(mu_);
+  return rings_.size();
+}
+
+namespace {
+
+void AppendEventJson(std::string* out, uint64_t tid, const TraceEvent& e,
+                     char ph) {
+  out->append("{\"name\":\"");
+  out->append(e.name);
+  out->append("\",\"ph\":\"");
+  out->push_back(ph);
+  out->append("\",\"ts\":");
+  out->append(std::to_string(e.ts_us));
+  out->append(",\"pid\":1,\"tid\":");
+  out->append(std::to_string(tid));
+  if (ph == 'i') out->append(",\"s\":\"t\"");  // Thread-scoped instant.
+  bool any_arg = e.query_id != 0 || e.k0 != nullptr || e.k1 != nullptr ||
+                 e.k2 != nullptr || (e.sk != nullptr && e.sv != nullptr);
+  if (any_arg && ph != 'E') {
+    out->append(",\"args\":{");
+    bool first = true;
+    if (e.query_id != 0) {
+      out->append("\"qid\":");
+      out->append(std::to_string(e.query_id));
+      first = false;
+    }
+    if (e.k0 != nullptr) {
+      if (!first) out->push_back(',');
+      out->push_back('"');
+      out->append(e.k0);
+      out->append("\":");
+      out->append(std::to_string(e.v0));
+      first = false;
+    }
+    if (e.k1 != nullptr) {
+      if (!first) out->push_back(',');
+      out->push_back('"');
+      out->append(e.k1);
+      out->append("\":");
+      out->append(std::to_string(e.v1));
+      first = false;
+    }
+    if (e.k2 != nullptr) {
+      if (!first) out->push_back(',');
+      out->push_back('"');
+      out->append(e.k2);
+      out->append("\":");
+      out->append(std::to_string(e.v2));
+      first = false;
+    }
+    if (e.sk != nullptr && e.sv != nullptr) {
+      if (!first) out->push_back(',');
+      out->push_back('"');
+      out->append(e.sk);
+      out->append("\":\"");
+      out->append(e.sv);
+      out->append("\"");
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string TraceCollector::ExportJson() const {
+  // Snapshot every ring first (collector latch → each ring latch, 104 → 102),
+  // then build JSON with no latch held.
+  std::vector<std::pair<uint64_t, TraceRing::Drained>> rings;
+  {
+    latch::LatchGuard g(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) {
+      rings.emplace_back(r->tid(), r->Snapshot());
+    }
+  }
+
+  std::string out;
+  out.append("{\"traceEvents\":[");
+  bool first_event = true;
+  auto comma = [&] {
+    if (!first_event) out.push_back(',');
+    first_event = false;
+  };
+
+  for (const auto& [tid, drained] : rings) {
+    // Thread-name metadata so Perfetto rows are labelled.
+    comma();
+    out.append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(tid));
+    out.append(",\"args\":{\"name\":\"worker-");
+    out.append(std::to_string(tid));
+    out.append("\"}}");
+
+    if (drained.dropped > 0) {
+      // Overflow marker at the ring's first surviving timestamp (or 0 when
+      // everything was dropped) — check_trace.py requires one whenever
+      // meta reports drops.
+      TraceEvent marker;
+      marker.ts_us = drained.events.empty() ? 0 : drained.events.front().ts_us;
+      marker.name = "ring_overflow";
+      marker.type = TraceEventType::kInstant;
+      marker.k0 = "dropped";
+      marker.v0 = static_cast<int64_t>(drained.dropped);
+      comma();
+      AppendEventJson(&out, tid, marker, 'i');
+    }
+
+    // Balance repair: ring overflow can orphan an End (its Begin was
+    // overwritten) or the snapshot can catch a span still open. Replay the
+    // ring against a span stack — orphan Ends are dropped, unclosed Begins
+    // get a synthetic End at the thread's last timestamp.
+    std::vector<const TraceEvent*> open;
+    uint64_t last_ts = 0;
+    for (const TraceEvent& e : drained.events) {
+      last_ts = e.ts_us;
+      switch (e.type) {
+        case TraceEventType::kBegin:
+          open.push_back(&e);
+          comma();
+          AppendEventJson(&out, tid, e, 'B');
+          break;
+        case TraceEventType::kEnd:
+          if (open.empty()) break;  // Orphan: Begin lost to overflow.
+          open.pop_back();
+          comma();
+          AppendEventJson(&out, tid, e, 'E');
+          break;
+        case TraceEventType::kInstant:
+          comma();
+          AppendEventJson(&out, tid, e, 'i');
+          break;
+      }
+    }
+    while (!open.empty()) {
+      TraceEvent synth = *open.back();
+      open.pop_back();
+      synth.ts_us = last_ts;
+      synth.type = TraceEventType::kEnd;
+      comma();
+      AppendEventJson(&out, tid, synth, 'E');
+    }
+  }
+
+  out.append("],\"smoothscanMeta\":{\"rings\":[");
+  bool first_ring = true;
+  for (const auto& [tid, drained] : rings) {
+    if (!first_ring) out.push_back(',');
+    first_ring = false;
+    out.append("{\"tid\":");
+    out.append(std::to_string(tid));
+    out.append(",\"recorded\":");
+    out.append(std::to_string(drained.recorded));
+    out.append(",\"dropped\":");
+    out.append(std::to_string(drained.dropped));
+    out.push_back('}');
+  }
+  out.append("]}}");
+  return out;
+}
+
+bool TraceCollector::ExportJsonFile(const std::string& path) const {
+  std::string json = ExportJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = (n == json.size());
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace smoothscan

@@ -1,0 +1,168 @@
+// Structured tracing: per-query span trees (submit → queue → admission →
+// morsel execution → publish waits) and SmoothScan morph instants, recorded
+// into fixed-capacity per-thread ring buffers and exported as Chrome
+// trace-event JSON (load chrome://tracing or https://ui.perfetto.dev).
+//
+// Design constraints, in order:
+//   1. Determinism: emission reads the wall clock and bumps atomics/ring
+//      slots — it never touches SimDisk/CpuMeter (lint: obs-accounting), so
+//      simulated cost is bit-identical traced or not.
+//   2. Near-zero cost when disabled: a null TraceCollector* short-circuits
+//      every emission helper before any argument is materialized; the
+//      disabled scan loop stays allocation-free (gated by obs_test).
+//   3. Bounded memory: each thread writes its own TraceRing (capacity fixed
+//      at collector construction). A full ring drops the *oldest* event and
+//      counts the drop; Export() surfaces drops as `ring_overflow` instants
+//      plus per-ring counts in the `smoothscanMeta` side channel, which
+//      scripts/check_trace.py cross-checks.
+//
+// Locking: TraceRing::mu_ (LatchRank::kObsTraceRing) is a per-thread leaf —
+// uncontended on the hot path (only Export locks another thread's ring) but
+// a real latch so TSan sees a clean happens-before at export. The collector
+// directory latch (kObsTrace) is taken once per thread (first emission
+// registers the ring; a thread-local cache makes later emissions latch-free
+// down to the ring) and at Export.
+//
+// Event payloads are PODs: names and string values must be string literals
+// (static storage duration) — emission never allocates.
+
+#ifndef SMOOTHSCAN_OBS_TRACE_H_
+#define SMOOTHSCAN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latch_rank.h"
+#include "common/thread_annotations.h"
+
+namespace smoothscan {
+namespace obs {
+
+enum class TraceEventType : uint8_t {
+  kBegin,    ///< Chrome "B" — opens a span on this thread's stack.
+  kEnd,      ///< Chrome "E" — closes the innermost open span.
+  kInstant,  ///< Chrome "i" — a point event (morph step, publish, fallback).
+};
+
+/// One recorded event. POD; all pointers must be string literals.
+struct TraceEvent {
+  uint64_t ts_us = 0;     ///< Microseconds since the collector's epoch.
+  uint64_t query_id = 0;  ///< 0 = not attributable to a query.
+  const char* name = nullptr;
+  TraceEventType type = TraceEventType::kInstant;
+  // Up to three integer args and one string arg; key == nullptr ⇒ unused.
+  const char* k0 = nullptr;
+  int64_t v0 = 0;
+  const char* k1 = nullptr;
+  int64_t v1 = 0;
+  const char* k2 = nullptr;
+  int64_t v2 = 0;
+  const char* sk = nullptr;
+  const char* sv = nullptr;
+};
+
+/// Fixed-capacity per-thread event ring; drops oldest when full.
+class TraceRing {
+ public:
+  TraceRing(uint64_t tid, size_t capacity) : tid_(tid), buf_(capacity) {}
+
+  void Push(const TraceEvent& e) EXCLUDES(mu_);
+
+  uint64_t tid() const { return tid_; }
+
+  struct Drained {
+    std::vector<TraceEvent> events;  ///< Oldest → newest.
+    uint64_t recorded = 0;           ///< Total ever pushed.
+    uint64_t dropped = 0;            ///< Overwritten by overflow.
+  };
+  /// Copies out the current contents (does not consume them).
+  Drained Snapshot() const EXCLUDES(mu_);
+
+ private:
+  const uint64_t tid_;
+  mutable latch::Latch mu_{latch::LatchRank::kObsTraceRing, "TraceRing::mu_"};
+  std::vector<TraceEvent> buf_ GUARDED_BY(mu_);  // Sized once, never grows.
+  size_t head_ GUARDED_BY(mu_) = 0;              // Oldest element.
+  size_t size_ GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+};
+
+/// Owns the per-thread rings and the export path (see file comment).
+class TraceCollector {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 8192;
+
+  explicit TraceCollector(size_t ring_capacity = kDefaultRingCapacity);
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Microseconds since this collector's construction (steady clock).
+  uint64_t NowMicros() const;
+
+  void Begin(uint64_t query_id, const char* name, const char* k0 = nullptr,
+             int64_t v0 = 0, const char* k1 = nullptr, int64_t v1 = 0)
+      EXCLUDES(mu_);
+  void End(uint64_t query_id, const char* name) EXCLUDES(mu_);
+  void Instant(uint64_t query_id, const char* name, const char* k0 = nullptr,
+               int64_t v0 = 0, const char* k1 = nullptr, int64_t v1 = 0,
+               const char* k2 = nullptr, int64_t v2 = 0,
+               const char* sk = nullptr, const char* sv = nullptr)
+      EXCLUDES(mu_);
+
+  /// Chrome trace-event JSON (object form). Spans are repaired at export so
+  /// the output always balances: an End with no open span on its thread is
+  /// dropped (its Begin was overwritten by ring overflow), an unclosed Begin
+  /// gets a synthetic End at the thread's last timestamp. Rings that dropped
+  /// events additionally get a `ring_overflow` instant, and every ring's
+  /// recorded/dropped counts land in `smoothscanMeta.rings` for
+  /// check_trace.py to cross-check.
+  std::string ExportJson() const EXCLUDES(mu_);
+  /// ExportJson() to a file; returns false on I/O failure.
+  bool ExportJsonFile(const std::string& path) const EXCLUDES(mu_);
+
+  size_t num_rings() const EXCLUDES(mu_);
+  size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  TraceRing* ThisThreadRing() EXCLUDES(mu_);
+
+  const uint64_t collector_id_;  ///< Process-unique; keys the TL ring cache.
+  const size_t ring_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable latch::Latch mu_{latch::LatchRank::kObsTrace,
+                           "TraceCollector::mu_"};
+  // unique_ptr per ring: ring addresses must survive vector growth (threads
+  // cache their ring pointer latch-free).
+  std::vector<std::unique_ptr<TraceRing>> rings_ GUARDED_BY(mu_);
+};
+
+/// RAII span: Begin at construction, End at destruction. A null collector
+/// makes both no-ops, so call sites don't branch.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* tc, uint64_t query_id, const char* name,
+            const char* k0 = nullptr, int64_t v0 = 0, const char* k1 = nullptr,
+            int64_t v1 = 0)
+      : tc_(tc), query_id_(query_id), name_(name) {
+    if (tc_ != nullptr) tc_->Begin(query_id_, name_, k0, v0, k1, v1);
+  }
+  ~TraceSpan() {
+    if (tc_ != nullptr) tc_->End(query_id_, name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* const tc_;
+  const uint64_t query_id_;
+  const char* const name_;
+};
+
+}  // namespace obs
+}  // namespace smoothscan
+
+#endif  // SMOOTHSCAN_OBS_TRACE_H_

@@ -51,6 +51,7 @@ void SharedScanGroup::Attach(SharedScanConsumer* out) {
   consumers_[id] = state;
   ++active_consumers_;
   ++stats_.consumers_attached;
+  stats_.chunk_claims += num_chunks_;
   stats_.active_consumers = active_consumers_;
   out->group_ = shared_from_this();
   out->id_ = id;
@@ -313,6 +314,7 @@ ScanSharingStats ScanSharingCoordinator::stats() const {
     total.active_consumers += s.active_consumers;
     total.chunks_produced += s.chunks_produced;
     total.pages_fetched += s.pages_fetched;
+    total.chunk_claims += s.chunk_claims;
   }
   return total;
 }

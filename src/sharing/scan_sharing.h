@@ -94,6 +94,9 @@ struct SharedScanGroupStats {
   uint64_t chunks_produced = 0;
   uint64_t pages_fetched = 0;  ///< Pages covered by production requests.
   uint64_t drift_sheds = 0;    ///< Productions deferred by broker pressure.
+  uint64_t chunk_claims = 0;   ///< Sum of lap chunks claimed by attaches;
+                               ///< chunk_claims / chunks_produced is the
+                               ///< sharing fan-out ratio.
 };
 
 class SharedScanGroup;
@@ -229,6 +232,7 @@ struct ScanSharingStats {
   uint32_t active_consumers = 0;
   uint64_t chunks_produced = 0;
   uint64_t pages_fetched = 0;
+  uint64_t chunk_claims = 0;  ///< See SharedScanGroupStats::chunk_claims.
 };
 
 /// The per-engine registry of shared scans: one group per table, one shared

@@ -28,6 +28,10 @@
 
 namespace smoothscan {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class BufferPool;
 
 /// Buffer-pool hit/miss counters.
@@ -35,6 +39,16 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t write_backs = 0;  ///< Dirty pages written back (flush + eviction).
+};
+
+/// Optional push-style observability sink: when attached (SetMetricsSink),
+/// every BufferPoolStats bump also increments the matching registry counter
+/// — one relaxed atomic add, already under the shard latch. Null members are
+/// simply not fed.
+struct BufferPoolMetricsSink {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* write_backs = nullptr;
 };
 
 /// A pinned reference to a buffer-pool page. While the guard lives, the page
@@ -172,6 +186,11 @@ class BufferPool {
   /// charged exactly once, by the pool that owns the dirty bit.
   void SetMirror(BufferPool* mirror);
 
+  /// Attaches registry counters that mirror this pool's stats bumps. Same
+  /// contract as SetMirror: set before the first fetch (the sink is read
+  /// without a latch); pass {} to detach — but only while no fetches run.
+  void SetMetricsSink(BufferPoolMetricsSink sink) { obs_ = sink; }
+
   /// Aggregated over shards (copied under the shard latches).
   BufferPoolStats stats() const;
 
@@ -242,10 +261,16 @@ class BufferPool {
   void UnpinKey(uint64_t key);
   void TouchKey(uint64_t key);
 
+  /// Bumps the sink counters (if attached) alongside a shard-stats bump.
+  void ObsHits(uint64_t n);
+  void ObsMisses(uint64_t n);
+  void ObsWriteBacks(uint64_t n);
+
   StorageManager* storage_;
   SimDisk* disk_;
   size_t capacity_;
   BufferPool* mirror_ = nullptr;
+  BufferPoolMetricsSink obs_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

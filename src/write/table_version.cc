@@ -1,5 +1,7 @@
 #include "write/table_version.h"
 
+#include "obs/trace.h"
+
 namespace smoothscan {
 
 void TableVersionRegistry::ReadLease::Release() {
@@ -196,6 +198,15 @@ void TableVersionRegistry::PublishLocked(FileId file, TableState* s) {
   s->heap->AddTuples(s->tuple_delta);
 
   ++s->published_epoch;
+  if (trace_ != nullptr) {
+    // Emitted under the table latch: TraceRing is a strict leaf (rank 102),
+    // so this nests legally, and the instant lands exactly at the moment the
+    // era became visible.
+    trace_->Instant(/*query_id=*/0, "publish", "file",
+                    static_cast<int64_t>(file), "epoch",
+                    static_cast<int64_t>(s->published_epoch), "folded_pages",
+                    static_cast<int64_t>(s->cow.size() + s->appends.size()));
+  }
   s->open = false;
   s->cow.clear();
   s->appends.clear();

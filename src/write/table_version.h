@@ -50,6 +50,10 @@
 
 namespace smoothscan {
 
+namespace obs {
+class TraceCollector;
+}  // namespace obs
+
 class TableVersionRegistry {
  public:
   explicit TableVersionRegistry(Engine* engine) : engine_(engine) {}
@@ -180,6 +184,12 @@ class TableVersionRegistry {
 
   Engine* engine() const { return engine_; }
 
+  /// Attaches a trace collector: every publish-at-quiescence emits a
+  /// "publish" instant (file, epoch, folded page count) on the publishing
+  /// thread's ring. Set before the first lease (read without a latch); null
+  /// to detach. Bookkeeping only — publish cost accounting is unchanged.
+  void SetTrace(obs::TraceCollector* trace) { trace_ = trace; }
+
  private:
   struct IndexOp {
     BPlusTree* tree;
@@ -218,6 +228,7 @@ class TableVersionRegistry {
   void RunPublishHook(FileId file) EXCLUDES(hook_mu_);
 
   Engine* const engine_;
+  obs::TraceCollector* trace_ = nullptr;
 
   /// Guards tables_ (not per-table state); dropped before any table latch is
   /// acquired, ranked above them so a future nesting stays legal.
