@@ -14,9 +14,11 @@
 // tail latency instead of single-query cost).
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "engine/session.h"
 #include "exec/task_scheduler.h"
 #include "workload/workload_driver.h"
 
@@ -40,32 +42,38 @@ int main() {
   // 1. A burst: eight batch queries across the selectivity range, then three
   //    SLA point queries submitted *after* the queue has formed.
   std::printf("=== burst: 8 batch + 3 SLA queries, admission cap 3 ===\n");
+  // One Session is the client surface: its window is wide enough to hold
+  // the whole burst in flight, so the *engine's* admission cap is what
+  // queues the work.
+  SessionOptions so;
+  so.max_outstanding = 16;
+  Session session(&qe, so);
   struct Tagged {
     const char* tag;
-    QueryEngine::QueryId id;
+    QueryHandle handle;
   };
   std::vector<Tagged> submitted;
   const double batch_sels[] = {0.8, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05};
   for (const double sel : batch_sels) {
-    QuerySpec q;
-    q.index = &db.index();
-    q.predicate = db.PredicateForSelectivity(sel);
-    q.kind = PathKind::kSmoothScan;
-    submitted.push_back({"batch", qe.Submit(q)});
+    submitted.push_back({"batch", session.Query()
+                                      .Table(&db.index())
+                                      .Predicate(db.PredicateForSelectivity(sel))
+                                      .Policy(PathKind::kSmoothScan)
+                                      .Submit()});
   }
   for (int i = 0; i < 3; ++i) {
-    QuerySpec q;
-    q.index = &db.index();
-    q.predicate = db.PredicateForSelectivity(0.001);
-    q.kind = PathKind::kIndexScan;
-    q.lane = QueryLane::kSla;
-    submitted.push_back({"SLA", qe.Submit(q)});
+    submitted.push_back({"SLA", session.Query()
+                                    .Table(&db.index())
+                                    .Predicate(db.PredicateForSelectivity(0.001))
+                                    .Policy(PathKind::kIndexScan)
+                                    .Lane(QueryLane::kSla)
+                                    .Submit()});
   }
 
   std::printf("%-6s %-12s %10s %10s %12s %10s\n", "lane", "path", "queue_ms",
               "wall_ms", "sim_cost", "tuples");
-  for (const Tagged& t : submitted) {
-    const QueryResult r = qe.Wait(t.id);
+  for (Tagged& t : submitted) {
+    const QueryResult& r = t.handle.Wait();
     SMOOTHSCAN_CHECK(r.status.ok());
     std::printf("%-6s %-12s %10.2f %10.2f %12.1f %10llu\n", t.tag,
                 PathKindToString(r.metrics.kind), r.metrics.queue_wait_ms,

@@ -14,9 +14,11 @@
 // peer-probed resident pages for free.
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "engine/session.h"
 #include "sharing/scan_sharing.h"
 #include "workload/workload_driver.h"
 
@@ -30,18 +32,21 @@ uint64_t RunWave(Engine* engine, const MicroBenchDb& db, QueryEngine* qe,
                  PathKind kind, int n, const char* label) {
   engine->ColdRestart();
   const IoStats before = engine->disk().stats();
-  std::vector<QueryEngine::QueryId> ids;
+  SessionOptions so;
+  so.max_outstanding = static_cast<uint32_t>(n);  // The whole wave at once.
+  Session session(qe, so);
+  std::vector<QueryHandle> handles;
   for (int i = 0; i < n; ++i) {
-    QuerySpec q;
-    q.index = &db.index();
-    q.predicate = db.PredicateForSelectivity(0.6);
-    q.kind = kind;
-    ids.push_back(qe->Submit(q));
+    handles.push_back(session.Query()
+                          .Table(&db.index())
+                          .Predicate(db.PredicateForSelectivity(0.6))
+                          .Policy(kind)
+                          .Submit());
   }
   uint64_t pages = 0;
   std::printf("%-14s", label);
-  for (const QueryEngine::QueryId id : ids) {
-    const QueryResult r = qe->Wait(id);
+  for (QueryHandle& handle : handles) {
+    const QueryResult& r = handle.Wait();
     SMOOTHSCAN_CHECK(r.status.ok());
     pages += r.metrics.pages_read;
     std::printf("  %llu tuples (%s)",

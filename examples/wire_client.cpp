@@ -1,0 +1,125 @@
+// Wire client: the network front-end end to end — a Server over the
+// QueryEngine, a client connection speaking the frame protocol, query text
+// parsed and bound server-side, result rows streamed back in batches.
+//
+//   $ ./build/wire_client
+//
+// The example serves the micro-benchmark table under the name "t", connects
+// an in-process pipe client (the same transport the tests use; swap in
+// TcpListener::Connect for a real socket), and walks the protocol: a HELLO,
+// a selective SELECT with an explicit policy, a POLICY=auto SELECT whose
+// plan the server's cost-based chooser picks, a cancelled long scan, and a
+// METRICS dump — all against one engine whose accounting stays bit-identical
+// to in-process submission.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "engine/query_engine.h"
+#include "net/server.h"
+#include "net/wire_client.h"
+#include "plan/query_text.h"
+#include "plan/table_stats.h"
+#include "workload/micro_bench.h"
+
+using namespace smoothscan;
+
+int main() {
+  EngineOptions options;
+  options.buffer_pool_pages = 2048;
+  Engine engine(options);
+  MicroBenchSpec spec;
+  spec.num_tuples = 120000;
+  MicroBenchDb db(&engine, spec);
+
+  obs::MetricsRegistry metrics;
+  QueryEngineOptions qeo;
+  qeo.max_admitted = 2;
+  qeo.metrics = &metrics;
+  QueryEngine qe(&engine, qeo);
+
+  // The catalog maps wire-level table names to engine structures; stats and
+  // cost model make POLICY=auto (the server-side optimizer) available.
+  const TableStats stats =
+      TableStats::Compute(db.heap(), MicroBenchDb::kIndexedColumn);
+  CostModelParams params;
+  params.num_tuples = db.heap().num_tuples();
+  params.tuple_size =
+      engine.options().page_size /
+      std::max<uint64_t>(1, db.heap().num_tuples() / db.heap().num_pages());
+  params.page_size = engine.options().page_size;
+  params.rand_cost = engine.options().device.rand_cost;
+  params.seq_cost = engine.options().device.seq_cost;
+  const CostModel model(params);
+  QueryCatalog catalog;
+  TableBinding binding;
+  binding.index = &db.index();
+  binding.stats = &stats;
+  binding.cost_model = &model;
+  catalog.Register("t", binding);
+
+  net::Server server(&qe, &catalog);
+  net::WireClient client(server.ConnectPipe());
+  client.Hello("batch", /*window=*/4);
+
+  const int64_t hi_1pct = db.value_max() / 100;
+  const int64_t hi_40pct = (db.value_max() / 10) * 4;
+
+  std::printf("=== explicit policy: 1%% range, Smooth Scan ===\n");
+  char text[256];
+  std::snprintf(text, sizeof text,
+                "SELECT * FROM t WHERE C1 >= 0 AND C1 < %lld "
+                "WITH (POLICY=smooth)",
+                static_cast<long long>(hi_1pct));
+  net::WireResult r = client.Wait(client.Submit(text));
+  std::printf("status=%s rows=%zu path=%s sim_cost=%.1f\n",
+              r.status.ToString().c_str(), r.rows.size(),
+              PathKindToString(r.metrics.kind), r.metrics.sim_time);
+
+  std::printf("\n=== POLICY=auto: the server's chooser plans a 40%% range "
+              "===\n");
+  std::snprintf(text, sizeof text,
+                "SELECT * FROM t WHERE C1 >= 0 AND C1 < %lld "
+                "WITH (POLICY=auto)",
+                static_cast<long long>(hi_40pct));
+  r = client.Wait(client.Submit(text));
+  std::printf("status=%s rows=%zu chosen path=%s sim_cost=%.1f\n",
+              r.status.ToString().c_str(), r.rows.size(),
+              PathKindToString(r.metrics.kind), r.metrics.sim_time);
+
+  std::printf("\n=== cancellation: a full-table scan, cancelled mid-stream "
+              "===\n");
+  std::snprintf(text, sizeof text,
+                "SELECT * FROM t WHERE C1 >= 0 AND C1 < %lld "
+                "WITH (POLICY=full)",
+                static_cast<long long>(db.value_max() + 1));
+  const uint64_t tag = client.Submit(text);
+  client.Cancel(tag);
+  r = client.Wait(tag);
+  std::printf("status=%s cancelled=%d rows streamed before the cut: %zu\n",
+              r.status.ToString().c_str(), r.metrics.cancelled ? 1 : 0,
+              r.rows.size());
+
+  std::printf("\n=== a malformed statement is an error frame, not a dead "
+              "connection ===\n");
+  r = client.Wait(client.Submit("SELEKT * FROM t"));
+  std::printf("status=%s (%s)\n", StatusCodeToString(r.status.code()),
+              r.status.message().c_str());
+
+  std::printf("\n=== server metrics dump (engine.* excerpt) ===\n");
+  const std::string dump = client.MetricsText();
+  size_t pos = 0;
+  while (pos < dump.size()) {
+    size_t nl = dump.find('\n', pos);
+    if (nl == std::string::npos) nl = dump.size();
+    const std::string line = dump.substr(pos, nl - pos);
+    if (line.rfind("engine.", 0) == 0) std::printf("  %s\n", line.c_str());
+    pos = nl + 1;
+  }
+
+  std::printf("\nSame engine, same accounting — the wire adds transport, "
+              "sessions and\nbackpressure, never simulated cost.\n");
+  return 0;
+}

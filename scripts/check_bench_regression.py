@@ -36,6 +36,7 @@ DEFAULT_BENCHES = [
     "compressed",
     "mem",
     "result_cache_spill",
+    "server",
 ]
 
 # Relative sim_time increase tolerated before the gate trips.

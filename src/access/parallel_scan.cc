@@ -8,6 +8,7 @@
 #include "access/page_id_cache.h"
 #include "access/tuple_id_cache.h"
 #include "index/bplus_tree.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace smoothscan {
@@ -104,6 +105,10 @@ Status ParallelScan::OpenImpl() {
   pending_.Release();
   pending_pos_ = 0;
   finalized_ = false;
+
+  // Observability bind before Plan, mirroring the serial operators'
+  // resolve-at-Open (the engine SetObs()s the path before Open).
+  kernel_->BindObs(obs() != nullptr ? obs()->metrics : nullptr);
 
   // Serial prolog on the planning stream. Workers are not running yet, so the
   // prolog emits into slot 0 without locking concerns.
@@ -607,6 +612,39 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
 
   const char* name() const override { return "ParallelSmoothScan"; }
 
+  void BindObs(obs::MetricsRegistry* metrics) override {
+    // Same counter names as the serial operator: the registry aggregates
+    // serial and parallel smooth activity into one smooth.* family. (No
+    // smooth.morph_triggers bump here: the parallel kernel is eager-only, and
+    // eager never fires the deferred trigger — exactly like serial Eager.)
+    c_region_grows_ = nullptr;
+    c_region_shrinks_ = nullptr;
+    c_page_cache_hits_ = nullptr;
+    if (metrics != nullptr) {
+      c_region_grows_ = metrics->counter("smooth.region_grows");
+      c_region_shrinks_ = metrics->counter("smooth.region_shrinks");
+      c_page_cache_hits_ = metrics->counter("smooth.page_cache_hits");
+    }
+  }
+
+  SmoothScanStats smooth_stats() const override {
+    // Morsel-order merge, like Finalize's accounting merge.
+    SmoothScanStats total;
+    for (const SmoothScanStats& ss : sstats_) {
+      total.card_mode1 += ss.card_mode1;
+      total.card_mode2 += ss.card_mode2;
+      total.probes += ss.probes;
+      total.expansions += ss.expansions;
+      total.shrinks += ss.shrinks;
+      total.pages_seen += ss.pages_seen;
+      total.pages_with_results += ss.pages_with_results;
+      total.morph_checked_pages += ss.morph_checked_pages;
+      total.morph_result_pages += ss.morph_result_pages;
+      total.page_cache_hits += ss.page_cache_hits;
+    }
+    return total;
+  }
+
   std::vector<Morsel> Plan(const ExecContext& planning, const EmitFn&,
                            AccessPathStats*) override {
     const PageId num_pages = static_cast<PageId>(index_->heap()->num_pages());
@@ -635,7 +673,13 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
 
     for (const Tid target : buckets_[m.index]) {
       ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
-      if (shared_cache_->IsMarked(target.page_id)) continue;
+      if (shared_cache_->IsMarked(target.page_id)) {
+        // Target already harvested (the X marks in Fig. 3) — the same skip
+        // the serial operator counts as a page-cache hit.
+        ++ss.page_cache_hits;
+        if (c_page_cache_hits_ != nullptr) c_page_cache_hits_->Add();
+        continue;
+      }
 
       // Fetch the morphing region anchored at the target, clipped to the
       // morsel's page range, skipping already-harvested pages.
@@ -717,6 +761,13 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
             scan_options_.policy, region_pages, scan_options_.max_region_pages,
             ss.pages_seen, ss.pages_with_results, region_pages_seen,
             region_result_pages, &ss.expansions, &ss.shrinks);
+        // Counter-backed morph metrics at any DOP (previously trace-only
+        // here): one bump per region change, like the serial operator.
+        if (region_pages > region_before) {
+          if (c_region_grows_ != nullptr) c_region_grows_->Add();
+        } else if (region_pages < region_before) {
+          if (c_region_shrinks_ != nullptr) c_region_shrinks_->Add();
+        }
         if (trace_ != nullptr && region_pages != region_before) {
           // Morph timeline at any DOP: each worker's instants land on its
           // own ring. Bookkeeping only — the step above already settled.
@@ -742,6 +793,12 @@ class ParallelSmoothScanKernel : public ParallelScanKernel {
   uint32_t morsel_pages_;
   obs::TraceCollector* trace_;
   uint64_t trace_query_id_;
+
+  // Registry counters (null without a bound registry). Relaxed adds from
+  // worker threads — pure bookkeeping, never policy input.
+  obs::Counter* c_region_grows_ = nullptr;
+  obs::Counter* c_region_shrinks_ = nullptr;
+  obs::Counter* c_page_cache_hits_ = nullptr;
 
   std::unique_ptr<ConcurrentPageIdCache> shared_cache_;
   std::vector<std::vector<Tid>> buckets_;

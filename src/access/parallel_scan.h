@@ -113,6 +113,19 @@ class ParallelScanKernel {
   virtual ~ParallelScanKernel() = default;
   virtual const char* name() const = 0;
 
+  /// Observability bind, called once per Open cycle (before Plan) with the
+  /// owning path's registry — kernels resolve their live counters here, the
+  /// parallel analogue of the serial operators' resolve-at-Open. Bookkeeping
+  /// only; default no-op. `metrics` may be null.
+  virtual void BindObs(obs::MetricsRegistry* metrics) { (void)metrics; }
+
+  /// The smooth kernel's operator counters, merged over all morsels in
+  /// morsel order (valid once the cycle settled — after the consumer drained
+  /// the scan or Close). Empty for every other kernel. Lets tests reconcile
+  /// the registry's counter-backed smooth.* metrics against the operator's
+  /// own bookkeeping at any DOP.
+  virtual SmoothScanStats smooth_stats() const { return SmoothScanStats(); }
+
   /// Serial prolog: builds the morsel list; may emit prolog tuples and
   /// accumulate prolog counters. Charged to the planning stream.
   virtual std::vector<Morsel> Plan(const ExecContext& planning,

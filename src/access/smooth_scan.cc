@@ -412,6 +412,7 @@ void SmoothScan::NextUnordered(TupleBatch* out) {
     const Tid tid = it_->tid();
     ctx.cpu->ChargeCacheOp();  // Page ID Cache bit check.
     if (page_cache_->IsMarked(tid.page_id)) {
+      ++sstats_.page_cache_hits;
       if (c_page_cache_hits_ != nullptr) c_page_cache_hits_->Add();
       ++cache_skip_run_;
       it_->Next();  // Skip the leaf pointer (the X marks in Fig. 3).
@@ -448,6 +449,7 @@ void SmoothScan::NextOrdered(TupleBatch* out) {
         // predicate or was produced pre-trigger.
         cached = result_cache_->Take(key, tid);
       } else {
+        ++sstats_.page_cache_hits;
         if (c_page_cache_hits_ != nullptr) c_page_cache_hits_->Add();
         ++cache_skip_run_;
       }

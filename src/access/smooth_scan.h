@@ -154,6 +154,10 @@ struct SmoothScanStats {
   /// Shared-SmoothScan mode: pages taken for free because a peer query had
   /// already probed them and they were still resident in the shared pool.
   uint64_t shared_free_pages = 0;
+  /// Index entries skipped because their target page was already harvested
+  /// (Page ID Cache bit set) — the operator-side twin of the registry's
+  /// smooth.page_cache_hits counter, serial and parallel.
+  uint64_t page_cache_hits = 0;
   bool triggered = false;         ///< Non-eager trigger fired.
   uint64_t trigger_cardinality = 0;
 

@@ -65,6 +65,18 @@ enum class LatchRank : int {
                      ///< sits below the pool.
   kBatchPool = 130,  ///< BatchPool::mu_. Release() uncharges the memory
                      ///< scope (→ broker) under the pool latch.
+  kNetPipe = 140,       ///< net::Pipe byte-buffer latch. Pure leaf: a pipe
+                        ///< endpoint copies bytes under it and never calls
+                        ///< back into the engine.
+  kResultStream = 150,  ///< ResultStream::mu_ (handle batch queue). Pushed
+                        ///< to by an executor holding no latches; the engine
+                        ///< may finish a stream while holding kQueryEngine
+                        ///< (queue-cancel), so it sits below 700 with room
+                        ///< to spare.
+  kNetWrite = 160,      ///< net connection write latch: serializes whole
+                        ///< frames onto one transport. Held across
+                        ///< Transport::WriteAll (→ kNetPipe), never across
+                        ///< anything else.
   kDisk = 200,       ///< SimDisk::mu_ (one per logical access stream).
   kStorage = 250,    ///< StorageManager::mu_ (catalog/extent mutation).
   kPoolShard = 300,  ///< BufferPool Shard::mu. Misses append pages and
@@ -98,6 +110,20 @@ enum class LatchRank : int {
 
   // --- top ----------------------------------------------------------------
   kQueryEngine = 700,  ///< QueryEngine::mu_ (admission lanes / gauges).
+
+  // --- client / network front-end (above the engine: both call into
+  // Submit/Cancel, which take kQueryEngine) -------------------------------
+  kNetConn = 720,      ///< net server connection state (tag → handle map).
+                       ///< Held only for map mutation; Cancel/Wait on the
+                       ///< fetched handle run after release, so nothing
+                       ///< engine-side nests under it in practice.
+  kNetSession = 740,   ///< Session::mu_ (outstanding-query window). The
+                       ///< engine's completion callback acquires it from an
+                       ///< executor holding nothing; a submitting client may
+                       ///< hold it while entering QueryEngine::SubmitSpec.
+  kNetListener = 760,  ///< net::Server::mu_ (connection registry). Accepting
+                       ///< a connection spawns a session (→ 740) and may
+                       ///< consult engine depth (→ 700) under it.
 };
 
 /// True when acquisition-order checking is enforcing (see file comment).

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal = 7,
   kUnimplemented = 8,
   kIoError = 9,
+  kCancelled = 10,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -71,6 +72,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

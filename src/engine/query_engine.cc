@@ -44,6 +44,7 @@ const char* QueryLaneToString(QueryLane lane) {
 QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
     : engine_(engine), options_(options) {
   SMOOTHSCAN_CHECK(options_.max_admitted >= 1);
+  SMOOTHSCAN_CHECK(options_.sla_reserved_slots < options_.max_admitted);
   if (options_.broker != nullptr) {
     // The shared pool's frame memory is a fixed, engine-lifetime footprint:
     // charge it once so every other consumer competes for what remains.
@@ -81,6 +82,7 @@ QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
     obs::MetricsRegistry* r = options_.metrics;
     c_submitted_ = r->counter("engine.submitted");
     c_completed_ = r->counter("engine.completed");
+    c_cancelled_ = r->counter("engine.cancelled");
     c_compressed_fallbacks_ = r->counter("engine.compressed_fallbacks");
     g_lane_depth_[static_cast<int>(QueryLane::kBatch)] =
         r->gauge("engine.lane_batch_depth");
@@ -110,7 +112,8 @@ QueryEngine::QueryEngine(Engine* engine, QueryEngineOptions options)
   }
   executors_.reserve(options_.max_admitted);
   for (uint32_t i = 0; i < options_.max_admitted; ++i) {
-    executors_.emplace_back([this] { ExecutorLoop(); });
+    const bool sla_only = i < options_.sla_reserved_slots;
+    executors_.emplace_back([this, sla_only] { ExecutorLoop(sla_only); });
   }
 }
 
@@ -140,7 +143,7 @@ QueryEngine::~QueryEngine() {
   }
 }
 
-QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
+QueryEngine::QueryId QueryEngine::SubmitSpec(QuerySpec spec) {
   SMOOTHSCAN_CHECK(spec.index != nullptr || spec.writer != nullptr);
   // Write queries need the snapshot machinery: without leases, a publish
   // could land under an in-flight scan.
@@ -167,7 +170,9 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
           static_cast<int64_t>(q.size()));
     }
   }
-  cv_submit_.notify_one();
+  // notify_all: with an SLA reserve, notify_one could wake a reserved
+  // executor for a batch query it will never pop (a lost wakeup).
+  cv_submit_.notify_all();
   if (c_submitted_ != nullptr) c_submitted_->Add();
   if (options_.tracing != nullptr) {
     options_.tracing->Instant(id, "submit", "share_eligible",
@@ -177,7 +182,7 @@ QueryEngine::QueryId QueryEngine::Submit(QuerySpec spec) {
   return id;
 }
 
-QueryResult QueryEngine::Wait(QueryId id) {
+QueryResult QueryEngine::WaitSpec(QueryId id) {
   latch::UniqueLatch lock(mu_);
   auto it = records_.find(id);
   SMOOTHSCAN_CHECK(it != records_.end());
@@ -190,9 +195,66 @@ QueryResult QueryEngine::Wait(QueryId id) {
   return result;
 }
 
-void QueryEngine::Drain() {
+void QueryEngine::DrainAll() {
   latch::UniqueLatch lock(mu_);
   while (outstanding_ != 0) cv_done_.wait(lock);
+}
+
+bool QueryEngine::Cancel(QueryId id) {
+  ResultStream* stream = nullptr;
+  std::function<void(uint64_t)> on_complete;
+  {
+    latch::UniqueLatch lock(mu_);
+    // Running: raise the executor's flag; it finishes the record itself.
+    auto rit = running_cancel_.find(id);
+    if (rit != running_cancel_.end()) {
+      rit->second->store(true, std::memory_order_release);
+      return true;
+    }
+    // Queued: remove unadmitted and complete the record here.
+    bool found = false;
+    for (int lane = 0; lane < 2 && !found; ++lane) {
+      std::deque<Pending>& q = lanes_[lane];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->id != id) continue;
+        auto rec_it = records_.find(id);
+        SMOOTHSCAN_CHECK(rec_it != records_.end());
+        Record& rec = rec_it->second;
+        rec.result.status = Status::Cancelled("cancelled in queue");
+        QueryMetrics& m = rec.result.metrics;
+        m.cancelled = true;
+        m.lane = it->spec.lane;
+        m.write = it->spec.writer != nullptr;
+        m.kind = it->spec.kind;
+        m.queue_wait_ms =
+            MsBetween(it->submitted, std::chrono::steady_clock::now());
+        m.latency_ms = m.queue_wait_ms;
+        stream = it->spec.stream;
+        on_complete = std::move(it->spec.on_complete);
+        // Finish the stream before the record is done: once WaitSpec can
+        // return, the handle may destroy the stream.
+        if (stream != nullptr) stream->FinishProducer();
+        rec.done = true;
+        q.erase(it);
+        if (g_lane_depth_[lane] != nullptr) {
+          g_lane_depth_[lane]->Set(static_cast<int64_t>(q.size()));
+        }
+        --outstanding_;
+        ++completed_;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // Already completed (or unknown id).
+  }
+  cv_done_.notify_all();
+  if (c_cancelled_ != nullptr) c_cancelled_->Add();
+  if (options_.tracing != nullptr) {
+    options_.tracing->Instant(id, "cancel", "in_queue", 1);
+  }
+  // Outside mu_: the window callback climbs to the Session latch (rank 740).
+  if (on_complete) on_complete(id);
+  return true;
 }
 
 size_t QueryEngine::queue_depth() const {
@@ -215,20 +277,27 @@ uint64_t QueryEngine::completed() const {
   return completed_;
 }
 
-void QueryEngine::ExecutorLoop() {
+void QueryEngine::ExecutorLoop(bool sla_only) {
   for (;;) {
     Pending p;
+    std::atomic<bool> cancel{false};
     std::chrono::steady_clock::time_point admit_time;
     {
       latch::UniqueLatch lock(mu_);
       // Explicit loop: the guarded lane/shutdown state is not visible to the
-      // analysis inside a predicate lambda.
-      while (!shutdown_ && lanes_[0].empty() && lanes_[1].empty()) {
+      // analysis inside a predicate lambda. A reserved executor ignores the
+      // batch lane entirely — that is the reserve.
+      while (!shutdown_ && lanes_[static_cast<int>(QueryLane::kSla)].empty() &&
+             (sla_only || lanes_[0].empty())) {
         cv_submit_.wait(lock);
       }
       // Drain remaining queries before honoring shutdown, like the task
-      // scheduler does for its deques.
-      if (lanes_[0].empty() && lanes_[1].empty()) return;
+      // scheduler does for its deques (reserved executors leave the batch
+      // lane to the general pool).
+      if (lanes_[static_cast<int>(QueryLane::kSla)].empty() &&
+          (sla_only || lanes_[0].empty())) {
+        return;
+      }
       std::deque<Pending>& lane =
           !lanes_[static_cast<int>(QueryLane::kSla)].empty()
               ? lanes_[static_cast<int>(QueryLane::kSla)]
@@ -254,6 +323,9 @@ void QueryEngine::ExecutorLoop() {
       }
       p = std::move(*it);
       lane.erase(it);
+      // Same critical section as the pop: Cancel always finds a live query
+      // either queued or here — never in between.
+      running_cancel_[p.id] = &cancel;
       ++admitted_now_;
       peak_admitted_ = std::max(peak_admitted_, admitted_now_);
       for (int i = 0; i < 2; ++i) {
@@ -267,6 +339,10 @@ void QueryEngine::ExecutorLoop() {
       admit_time = std::chrono::steady_clock::now();
     }
 
+    // Taken before the spec moves into Execute: both outlive it (the stream
+    // is the handle's; the callback is fired below, after the record).
+    ResultStream* stream = p.spec.stream;
+    std::function<void(uint64_t)> on_complete = std::move(p.spec.on_complete);
     QueryResult result;
     {
       // The "query" span covers admission → completion on this executor;
@@ -276,8 +352,11 @@ void QueryEngine::ExecutorLoop() {
           options_.tracing, p.id, "query", "lane",
           static_cast<int64_t>(p.spec.lane), "queue_us",
           static_cast<int64_t>(MsBetween(p.submitted, admit_time) * 1000.0));
-      result = Execute(p.id, std::move(p.spec));
+      result = Execute(p.id, std::move(p.spec), &cancel);
     }
+    // Before the record is done: once WaitSpec can return, the handle may
+    // destroy the stream.
+    if (stream != nullptr) stream->FinishProducer();
     const auto end = std::chrono::steady_clock::now();
     result.metrics.queue_wait_ms = MsBetween(p.submitted, admit_time);
     result.metrics.exec_ms = MsBetween(admit_time, end);
@@ -291,9 +370,13 @@ void QueryEngine::ExecutorLoop() {
           static_cast<uint64_t>(result.metrics.latency_ms * 1000.0));
     }
     if (c_completed_ != nullptr) c_completed_->Add();
+    if (result.metrics.cancelled && c_cancelled_ != nullptr) {
+      c_cancelled_->Add();
+    }
 
     {
       latch::LatchGuard lock(mu_);
+      running_cancel_.erase(p.id);
       --admitted_now_;
       ++completed_;
       --outstanding_;
@@ -305,6 +388,8 @@ void QueryEngine::ExecutorLoop() {
       rec.done = true;
     }
     cv_done_.notify_all();
+    // Outside mu_: the Session window callback climbs to rank 740.
+    if (on_complete) on_complete(p.id);
   }
 }
 
@@ -359,11 +444,20 @@ bool QueryEngine::ShareEligible(const QuerySpec& spec) const {
          (kind == PathKind::kCompressedScan && compressed_shared);
 }
 
-QueryResult QueryEngine::ExecuteWrite(QueryId id, QuerySpec spec) {
+QueryResult QueryEngine::ExecuteWrite(QueryId id, QuerySpec spec,
+                                      const std::atomic<bool>* cancel) {
   QueryResult res;
   QueryMetrics& m = res.metrics;
   m.lane = spec.lane;
   m.write = true;
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    // Raised between admission and the first op: nothing was applied, so
+    // this is still a clean cancel. Mid-Apply the batch runs to completion —
+    // its mutations are real and will publish.
+    res.status = Status::Cancelled("write cancelled before apply");
+    m.cancelled = true;
+    return res;
+  }
 
   // Per-query accounting stack, exactly like a read: the fetches that pull
   // target pages into the buffer are this query's cost, bit-identical at any
@@ -394,8 +488,11 @@ QueryResult QueryEngine::ExecuteWrite(QueryId id, QuerySpec spec) {
   return res;
 }
 
-QueryResult QueryEngine::Execute(QueryId id, QuerySpec spec) {
-  if (spec.writer != nullptr) return ExecuteWrite(id, std::move(spec));
+QueryResult QueryEngine::Execute(QueryId id, QuerySpec spec,
+                                 const std::atomic<bool>* cancel) {
+  if (spec.writer != nullptr) {
+    return ExecuteWrite(id, std::move(spec), cancel);
+  }
   QueryResult res;
   QueryMetrics& m = res.metrics;
   m.lane = spec.lane;
@@ -580,6 +677,20 @@ QueryResult QueryEngine::Execute(QueryId id, QuerySpec spec) {
             res.keys.push_back(batch.row(i)[0].AsInt64());
           }
         }
+        if (spec.stream != nullptr) {
+          spec.stream->Push(std::move(batch));
+          batch.Clear();  // Leave the moved-from batch refillable.
+        }
+        // Polled between batches: path->Close() below is the teardown — for
+        // a shared-scan consumer that is Detach mid-lap, the existing
+        // cancelled-consumer path, and the peers' laps proceed untouched.
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_acquire)) {
+          res.status = Status::Cancelled("cancelled mid-execution");
+          m.cancelled = true;
+          obs::EmitInstant(obs_ctx, "cancel", "mid_execution", 1);
+          break;
+        }
       }
       path->Close();
     }
@@ -589,8 +700,9 @@ QueryResult QueryEngine::Execute(QueryId id, QuerySpec spec) {
     auto it = running_shared_.find(table);
     if (--it->second == 0) running_shared_.erase(it);
   }
-  if (!res.status.ok()) return res;
 
+  // Charges are reported even for a cancelled (or failed) query: the work
+  // done up to the break point was real.
   const IoStats io = qctx.disk().stats();
   m.io_time = io.io_time;
   m.cpu_time = qctx.cpu().time();

@@ -29,16 +29,19 @@
 #ifndef SMOOTHSCAN_ENGINE_QUERY_ENGINE_H_
 #define SMOOTHSCAN_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/latch_rank.h"
 #include "common/thread_annotations.h"
+#include "common/tuple_batch.h"
 #include "compress/compressed_extent_map.h"
 #include "mem/memory_broker.h"
 #include "plan/access_path_chooser.h"
@@ -70,6 +73,67 @@ class TraceCollector;
 enum class QueryLane { kBatch = 0, kSla = 1 };
 
 const char* QueryLaneToString(QueryLane lane);
+
+/// Bounded batch queue between an executing query and the client holding its
+/// QueryHandle — the streaming half of the Session API. The executor Pushes
+/// each result batch as it is produced (blocking while the window is full);
+/// the handle Pops them. Closing the consumer side unblocks the producer and
+/// turns further pushes into drops, so an abandoned or cancelled stream never
+/// wedges an executor. Streaming changes only *where* batches go, never what
+/// the query is charged: the blocking adds wall time, not simulated cost.
+class ResultStream {
+ public:
+  explicit ResultStream(size_t max_batches = 4)
+      : cap_(max_batches == 0 ? 1 : max_batches) {}
+  ResultStream(const ResultStream&) = delete;
+  ResultStream& operator=(const ResultStream&) = delete;
+
+  /// Producer (engine executor): enqueue one batch; blocks while the window
+  /// is full and the consumer is still attached.
+  void Push(TupleBatch batch) {
+    latch::UniqueLatch lock(mu_);
+    while (!closed_ && q_.size() >= cap_) cv_.wait(lock);
+    if (closed_) return;  // Consumer gone: drop, keep draining.
+    q_.push_back(std::move(batch));
+    cv_.notify_all();
+  }
+
+  /// Producer: no further batches (normal end, error, or cancellation).
+  void FinishProducer() {
+    latch::LatchGuard lock(mu_);
+    finished_ = true;
+    cv_.notify_all();
+  }
+
+  /// Consumer (QueryHandle): dequeue the next batch; false once the producer
+  /// finished and the queue drained.
+  bool Pop(TupleBatch* out) {
+    latch::UniqueLatch lock(mu_);
+    while (q_.empty() && !finished_) cv_.wait(lock);
+    if (q_.empty()) return false;
+    *out = std::move(q_.front());
+    q_.pop_front();
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Consumer: stop consuming (cancel / handle teardown). Idempotent.
+  void CloseConsumer() {
+    latch::LatchGuard lock(mu_);
+    closed_ = true;
+    q_.clear();
+    cv_.notify_all();
+  }
+
+ private:
+  mutable latch::Latch mu_{latch::LatchRank::kResultStream,
+                           "ResultStream::mu_"};
+  std::condition_variable_any cv_;
+  std::deque<TupleBatch> q_ GUARDED_BY(mu_);
+  const size_t cap_;
+  bool finished_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
+};
 
 /// One query: a selection over an indexed table, with either a fixed access
 /// path or the cost-based chooser run against (possibly lying) statistics —
@@ -108,6 +172,16 @@ struct QuerySpec {
   /// fall back to FullScan, Smooth Scan runs solo, and the share-aware
   /// admission never reorders it). No effect without a coordinator.
   bool allow_sharing = true;
+
+  // --- wired by Session (engine/session.h); not part of the client surface.
+  /// Result batches are moved into this stream as they are produced (owned
+  /// by the QueryHandle; must outlive the query's execution — the handle's
+  /// Wait() is the synchronization point).
+  ResultStream* stream = nullptr;
+  /// Invoked exactly once per query, after its record is done (completion or
+  /// cancellation), from a thread holding no engine latches. The Session's
+  /// outstanding-window bookkeeping.
+  std::function<void(uint64_t /*id*/)> on_complete;
 };
 
 /// Per-query accounting, the workload-level analogue of bench RunMetrics.
@@ -133,6 +207,11 @@ struct QueryMetrics {
   /// Times a charge pushed the scope past its per-query quota. Breaches
   /// shed batch storage on release — they never fail the query.
   uint64_t mem_quota_breaches = 0;
+  /// The query was cancelled: in-queue (never admitted — exec_ms stays 0 and
+  /// `kind` is the spec's as given) or mid-execution (partial charges up to
+  /// the cancellation point are reported; a shared-scan consumer Detaches
+  /// mid-lap without perturbing its peers).
+  bool cancelled = false;
 };
 
 struct QueryResult {
@@ -144,6 +223,12 @@ struct QueryResult {
 struct QueryEngineOptions {
   /// Cap on concurrently-admitted queries (= executor threads).
   uint32_t max_admitted = 4;
+  /// Executors (of the `max_admitted`) that pop *only* the SLA lane. With a
+  /// reserve, an SLA arrival never waits behind a long batch query occupying
+  /// every executor — the Crescando-style latency floor the network server's
+  /// overload bench asserts. 0 (default) keeps the historical behavior: the
+  /// SLA lane only jumps the queue. Must be < max_admitted.
+  uint32_t sla_reserved_slots = 0;
   /// Shared data-plane worker pool for intra-query morsels. Null: a query
   /// with dop >= 1 spins up a private pool (standalone use; prefer sharing).
   TaskScheduler* scheduler = nullptr;
@@ -210,17 +295,51 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  // Spec-level submission — the *internal* surface beneath the Session /
+  // QueryHandle client API (engine/session.h). In-tree subsystems (Session,
+  // the network server's sessions, differential tests) call these; client
+  // code opens a Session.
+
   /// Enqueues the query; returns immediately with its completion handle.
-  QueryId Submit(QuerySpec spec) EXCLUDES(mu_);
+  QueryId SubmitSpec(QuerySpec spec) EXCLUDES(mu_);
 
   /// Blocks until query `id` completes and takes its result (each id can be
   /// waited on exactly once).
-  QueryResult Wait(QueryId id) EXCLUDES(mu_);
+  QueryResult WaitSpec(QueryId id) EXCLUDES(mu_);
+
+  /// Cancels query `id`. In-queue: the query is removed unadmitted and its
+  /// record completes immediately with StatusCode::kCancelled (queue-wait
+  /// accounted, zero execution charges). Mid-execution: a cancel flag is
+  /// raised that the executor polls between result batches — a shared-scan
+  /// consumer Detaches mid-lap (the existing cancelled-consumer path), any
+  /// other read path closes early, and the record completes with kCancelled
+  /// and the charges accrued so far. Write queries cancel in-queue only; a
+  /// batch mid-Apply runs to completion (its mutations are real). Returns
+  /// false when the query already completed (or the id is unknown) — the
+  /// result must still be WaitSpec()ed either way.
+  bool Cancel(QueryId id) EXCLUDES(mu_);
 
   /// Blocks until every query submitted so far has completed. Completion
-  /// records are reclaimed by Wait() alone — a fire-and-forget caller that
-  /// only ever Drain()s should still Wait() each id, or records accumulate.
-  void Drain() EXCLUDES(mu_);
+  /// records are reclaimed by WaitSpec() alone — a fire-and-forget caller
+  /// that only ever drains should still wait each id, or records accumulate.
+  void DrainAll() EXCLUDES(mu_);
+
+  // Deprecated shims for the pre-Session surface. Out-of-tree callers get a
+  // pointed compile-time message; in-tree code has been ported.
+  [[deprecated(
+      "raw QuerySpec submission is internal now: open a Session and use "
+      "Session::Query() (engine/session.h), or SubmitSpec if you really "
+      "need the spec surface")]]
+  QueryId Submit(QuerySpec spec) {
+    return SubmitSpec(std::move(spec));
+  }
+  [[deprecated("use QueryHandle::Wait() via Session (engine/session.h), or "
+               "WaitSpec")]]
+  QueryResult Wait(QueryId id) {
+    return WaitSpec(id);
+  }
+  [[deprecated("use DrainAll (or per-handle Wait via Session)")]]
+  void Drain() { DrainAll(); }
 
   // Observability (values are instantaneous snapshots).
   size_t queue_depth() const EXCLUDES(mu_);
@@ -249,11 +368,16 @@ class QueryEngine {
     bool done = false;
   };
 
-  void ExecutorLoop() EXCLUDES(mu_);
+  /// `sla_only` executors (the first `sla_reserved_slots` of the pool) pop
+  /// nothing but the SLA lane.
+  void ExecutorLoop(bool sla_only) EXCLUDES(mu_);
   /// `id` attributes the query's trace spans and morph instants; it never
-  /// influences planning or accounting.
-  QueryResult Execute(QueryId id, QuerySpec spec) EXCLUDES(mu_);
-  QueryResult ExecuteWrite(QueryId id, QuerySpec spec);
+  /// influences planning or accounting. `cancel` (never null from the
+  /// executor) is polled between result batches.
+  QueryResult Execute(QueryId id, QuerySpec spec,
+                      const std::atomic<bool>* cancel) EXCLUDES(mu_);
+  QueryResult ExecuteWrite(QueryId id, QuerySpec spec,
+                           const std::atomic<bool>* cancel);
   /// Whether the query will resolve to a shared scan (Pending::share_eligible
   /// — runs the chooser for use_chooser specs, so a selective query that
   /// will pick an index path never jumps the FIFO for nothing).
@@ -271,6 +395,7 @@ class QueryEngine {
   // sink handed to every parallel leaf's owned pool.
   obs::Counter* c_submitted_ = nullptr;
   obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
   obs::Counter* c_compressed_fallbacks_ = nullptr;
   obs::Gauge* g_lane_depth_[2] = {nullptr, nullptr};  ///< By QueryLane.
   obs::Gauge* g_running_ = nullptr;
@@ -306,6 +431,12 @@ class QueryEngine {
   /// Tables with a shared scan executing right now (value = running count);
   /// the share-aware batch pop admits matching queued queries first.
   std::unordered_map<FileId, uint32_t> running_shared_ GUARDED_BY(mu_);
+  /// Cancel flags of the queries executing right now. Each flag lives on its
+  /// executor's stack; registered in the same critical section as the pop
+  /// (so Cancel never finds a query in neither the lanes nor here while it
+  /// is still live) and deregistered in the completion section.
+  std::unordered_map<QueryId, std::atomic<bool>*> running_cancel_
+      GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;
   uint32_t admitted_now_ GUARDED_BY(mu_) = 0;
   uint32_t peak_admitted_ GUARDED_BY(mu_) = 0;

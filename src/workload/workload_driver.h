@@ -16,6 +16,7 @@
 #define SMOOTHSCAN_WORKLOAD_WORKLOAD_DRIVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +25,10 @@
 #include "workload/micro_bench.h"
 
 namespace smoothscan {
+
+namespace net {
+class Server;
+}  // namespace net
 
 /// One phase of the stream each client replays, in order.
 struct StreamPhase {
@@ -93,6 +98,18 @@ struct WorkloadOptions {
   TableVersionRegistry* versions = nullptr;
   /// Synchronize all clients at phase boundaries.
   bool phase_barrier = false;
+
+  /// Network mode: when set, each client connects to this server over an
+  /// in-process pipe and submits its queries as wire text (the grammar of
+  /// plan/query_text.h) instead of raw specs — the full front-end in the
+  /// closed loop. The server's catalog must have the micro-bench table
+  /// registered under `wire_table`. The kOptimizer policy maps to
+  /// POLICY=auto, so the *server's* bound statistics drive the chooser
+  /// (per-phase stats corruption remains an in-process-mode feature), and
+  /// write phases serialize their op batches as chained DML statements.
+  net::Server* server = nullptr;
+  /// Catalog name of the micro-bench table in wire mode.
+  std::string wire_table = "t";
 
   // --- Observability (pure bookkeeping; per-query simulated cost is
   // bit-identical with or without any of it). ---

@@ -316,7 +316,7 @@ TEST(CompressedPublishTest, PublishInvalidatesThenAutoRebuildServesNewData) {
   read.collect_keys = true;
 
   // Scan-bound regime over a 2x-shrunk extent: the chooser must take it.
-  QueryResult before = qe.Wait(qe.Submit(read));
+  QueryResult before = qe.WaitSpec(qe.SubmitSpec(read));
   ASSERT_TRUE(before.status.ok());
   EXPECT_EQ(before.metrics.kind, PathKind::kCompressedScan);
 
@@ -328,8 +328,8 @@ TEST(CompressedPublishTest, PublishInvalidatesThenAutoRebuildServesNewData) {
       WriteOp::MakeInsert(MakeRow(db.heap().schema(), 1000001, 10)));
   write.write_ops.push_back(
       WriteOp::MakeInsert(MakeRow(db.heap().schema(), 1000002, 11)));
-  ASSERT_TRUE(qe.Wait(qe.Submit(write)).status.ok());
-  qe.Drain();
+  ASSERT_TRUE(qe.WaitSpec(qe.SubmitSpec(write)).status.ok());
+  qe.DrainAll();
   // Publish at quiescence: force it by taking (and dropping) a read lease.
   registry.AcquireRead(db.heap().file_id()).Release();
   EXPECT_EQ(map.rebuilds(), 1u);
@@ -340,7 +340,7 @@ TEST(CompressedPublishTest, PublishInvalidatesThenAutoRebuildServesNewData) {
   db.heap().ForEachDirect([&](Tid, const Tuple& t) {
     if (read.predicate.Matches(t)) oracle.insert(t[0].AsInt64());
   });
-  QueryResult after = qe.Wait(qe.Submit(read));
+  QueryResult after = qe.WaitSpec(qe.SubmitSpec(read));
   ASSERT_TRUE(after.status.ok());
   EXPECT_EQ(after.metrics.kind, PathKind::kCompressedScan);
   EXPECT_EQ(std::multiset<int64_t>(after.keys.begin(), after.keys.end()),
@@ -375,7 +375,7 @@ TEST(CompressedPublishTest, WithoutAutoRebuildQueriesFallBackToHeap) {
   read.predicate = db.PredicateForSelectivity(0.5);
   read.kind = PathKind::kCompressedScan;  // Fixed-kind: asks for the tier.
   read.collect_keys = true;
-  QueryResult before = qe.Wait(qe.Submit(read));
+  QueryResult before = qe.WaitSpec(qe.SubmitSpec(read));
   ASSERT_TRUE(before.status.ok());
   EXPECT_EQ(before.metrics.kind, PathKind::kCompressedScan);
 
@@ -383,8 +383,8 @@ TEST(CompressedPublishTest, WithoutAutoRebuildQueriesFallBackToHeap) {
   write.writer = &writer;
   write.write_ops.push_back(
       WriteOp::MakeInsert(MakeRow(db.heap().schema(), 1000001, 10)));
-  ASSERT_TRUE(qe.Wait(qe.Submit(write)).status.ok());
-  qe.Drain();
+  ASSERT_TRUE(qe.WaitSpec(qe.SubmitSpec(write)).status.ok());
+  qe.DrainAll();
   registry.AcquireRead(db.heap().file_id()).Release();
   EXPECT_EQ(map.Lookup(db.heap().file_id()), nullptr);
 
@@ -394,7 +394,7 @@ TEST(CompressedPublishTest, WithoutAutoRebuildQueriesFallBackToHeap) {
   db.heap().ForEachDirect([&](Tid, const Tuple& t) {
     if (read.predicate.Matches(t)) oracle.insert(t[0].AsInt64());
   });
-  QueryResult after = qe.Wait(qe.Submit(read));
+  QueryResult after = qe.WaitSpec(qe.SubmitSpec(read));
   ASSERT_TRUE(after.status.ok());
   EXPECT_EQ(after.metrics.kind, PathKind::kFullScan);
   EXPECT_EQ(std::multiset<int64_t>(after.keys.begin(), after.keys.end()),
@@ -417,9 +417,9 @@ TEST_F(CompressedTierTest, MirroredRunsLeaveNoPinsBehind) {
   read.predicate = db_->PredicateForSelectivity(0.3);
   read.kind = PathKind::kCompressedScan;
   std::vector<QueryEngine::QueryId> ids;
-  for (int i = 0; i < 8; ++i) ids.push_back(qe.Submit(read));
+  for (int i = 0; i < 8; ++i) ids.push_back(qe.SubmitSpec(read));
   for (const auto id : ids) {
-    EXPECT_EQ(qe.Wait(id).metrics.kind, PathKind::kCompressedScan);
+    EXPECT_EQ(qe.WaitSpec(id).metrics.kind, PathKind::kCompressedScan);
   }
   // Every frame unpinned: a full rebuild evicts the sibling wholesale.
   EXPECT_NE(map_->Rebuild(db_->heap().file_id()), nullptr);

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "engine/session.h"
 #include "exec/task_scheduler.h"
+#include "sharing/scan_sharing.h"
 #include "workload/workload_driver.h"
 
 namespace smoothscan {
@@ -124,9 +126,9 @@ TEST_F(ConcurrentEngineTest, ConcurrentCostsBitIdenticalToSoloRuns) {
 
     // Everything in flight at once; admission interleaves the executions.
     std::vector<QueryEngine::QueryId> ids;
-    for (const QuerySpec& spec : specs) ids.push_back(qe.Submit(spec));
+    for (const QuerySpec& spec : specs) ids.push_back(qe.SubmitSpec(spec));
     for (size_t i = 0; i < ids.size(); ++i) {
-      const QueryResult result = qe.Wait(ids[i]);
+      const QueryResult result = qe.WaitSpec(ids[i]);
       ASSERT_TRUE(result.status.ok());
       const std::multiset<int64_t> got(result.keys.begin(),
                                        result.keys.end());
@@ -170,10 +172,10 @@ TEST_F(ConcurrentEngineTest, EightQueriesGenuinelyConcurrent) {
       }
       return true;
     };
-    ids.push_back(qe.Submit(spec));
+    ids.push_back(qe.SubmitSpec(spec));
   }
   for (const QueryEngine::QueryId id : ids) {
-    EXPECT_TRUE(qe.Wait(id).status.ok());
+    EXPECT_TRUE(qe.WaitSpec(id).status.ok());
   }
   EXPECT_EQ(qe.peak_admitted(), kN);
 }
@@ -210,16 +212,16 @@ TEST_F(ConcurrentEngineTest, SlaLaneJumpsTheBatchQueue) {
   };
 
   std::vector<QueryEngine::QueryId> ids;
-  ids.push_back(qe.Submit(tagged(0, QueryLane::kBatch, /*hold=*/true)));
+  ids.push_back(qe.SubmitSpec(tagged(0, QueryLane::kBatch, /*hold=*/true)));
   // Only submit the contenders once query 0 is genuinely admitted and
   // running, so they demonstrably queue behind it.
   while (!first_started.load()) std::this_thread::yield();
-  ids.push_back(qe.Submit(tagged(1, QueryLane::kBatch, false)));
-  ids.push_back(qe.Submit(tagged(2, QueryLane::kBatch, false)));
-  ids.push_back(qe.Submit(tagged(3, QueryLane::kSla, false)));
+  ids.push_back(qe.SubmitSpec(tagged(1, QueryLane::kBatch, false)));
+  ids.push_back(qe.SubmitSpec(tagged(2, QueryLane::kBatch, false)));
+  ids.push_back(qe.SubmitSpec(tagged(3, QueryLane::kSla, false)));
   gate.store(true);
   for (const QueryEngine::QueryId id : ids) {
-    EXPECT_TRUE(qe.Wait(id).status.ok());
+    EXPECT_TRUE(qe.WaitSpec(id).status.ok());
   }
   // Query 0 was running; the SLA query overtakes the two queued batch ones.
   ASSERT_EQ(start_order.size(), 4u);
@@ -259,9 +261,9 @@ TEST_F(ConcurrentEngineTest, ParallelLeafMatchesSoloParallelRun) {
   QuerySpec spec = Spec(PathKind::kFullScan, 0.3);
   spec.dop = 2;
   std::vector<QueryEngine::QueryId> ids;
-  for (int i = 0; i < 4; ++i) ids.push_back(qe.Submit(spec));
+  for (int i = 0; i < 4; ++i) ids.push_back(qe.SubmitSpec(spec));
   for (const QueryEngine::QueryId id : ids) {
-    const QueryResult result = qe.Wait(id);
+    const QueryResult result = qe.WaitSpec(id);
     ASSERT_TRUE(result.status.ok());
     EXPECT_TRUE(result.metrics.parallel);
     const std::multiset<int64_t> got(result.keys.begin(), result.keys.end());
@@ -288,14 +290,14 @@ TEST_F(ConcurrentEngineTest, ChooserReusePerStreamQuery) {
 
   // Honest statistics at 90% selectivity: the chooser picks the full scan.
   spec.stats = &honest;
-  QueryResult result = qe.Wait(qe.Submit(spec));
+  QueryResult result = qe.WaitSpec(qe.SubmitSpec(spec));
   ASSERT_TRUE(result.status.ok());
   EXPECT_EQ(result.metrics.kind, PathKind::kFullScan);
 
   // Statistics lying 1000x low: an index-driven path looks cheap — the
   // mis-estimation trap the workload driver replays at stream scale.
   spec.stats = &lying;
-  result = qe.Wait(qe.Submit(spec));
+  result = qe.WaitSpec(qe.SubmitSpec(spec));
   ASSERT_TRUE(result.status.ok());
   EXPECT_NE(result.metrics.kind, PathKind::kFullScan);
   const std::multiset<int64_t> got(result.keys.begin(), result.keys.end());
@@ -308,7 +310,7 @@ TEST_F(ConcurrentEngineTest, MirrorPopulatesSharedPoolWithoutLeakingPins) {
   QueryEngine qe(engine_.get(), QueryEngineOptions());
   QuerySpec spec = Spec(PathKind::kFullScan, 0.2);
   spec.collect_keys = false;
-  EXPECT_TRUE(qe.Wait(qe.Submit(spec)).status.ok());
+  EXPECT_TRUE(qe.WaitSpec(qe.SubmitSpec(spec)).status.ok());
   // The query's pages landed in the shared pool (data-plane residency)...
   EXPECT_GT(engine_->pool().size(), 0u);
   // ...and every mirror pin was released with its guard.
@@ -321,7 +323,7 @@ TEST_F(ConcurrentEngineTest, MirrorPopulatesSharedPoolWithoutLeakingPins) {
   QuerySpec par = Spec(PathKind::kSmoothScan, 0.2);
   par.collect_keys = false;
   par.dop = 2;
-  const QueryResult result = qe.Wait(qe.Submit(par));
+  const QueryResult result = qe.WaitSpec(qe.SubmitSpec(par));
   EXPECT_TRUE(result.status.ok());
   EXPECT_TRUE(result.metrics.parallel);
   EXPECT_GT(engine_->pool().size(), 0u);
@@ -359,6 +361,101 @@ TEST_F(ConcurrentEngineTest, WorkloadDriverClosedLoopReport) {
   WorkloadDriver driver2(engine_.get(), db_.get(), &qe2);
   const WorkloadReport again = driver2.Run(wo);
   EXPECT_EQ(again.total_sim_time, report.total_sim_time);  // Bit-identical.
+}
+
+TEST_F(ConcurrentEngineTest, CancelInQueueNeverRuns) {
+  QueryEngineOptions qeo;
+  qeo.max_admitted = 1;  // One executor: the gated query blocks the lane.
+  QueryEngine qe(engine_.get(), qeo);
+  Session session(&qe, SessionOptions{});
+
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  QuerySpec holder = Spec(PathKind::kFullScan, 0.01);
+  holder.collect_keys = false;
+  holder.predicate.residual = [&](const Tuple&) {
+    started.store(true);
+    while (!gate.load()) std::this_thread::yield();
+    return true;
+  };
+  QueryHandle blocking =
+      session.Query().FromSpec(std::move(holder)).Submit();
+  while (!started.load()) std::this_thread::yield();
+
+  // The victim sits in the batch lane behind the gated query; Cancel must
+  // remove it unadmitted.
+  std::atomic<uint64_t> victim_rows{0};
+  QuerySpec victim_spec = Spec(PathKind::kFullScan, 0.5);
+  victim_spec.collect_keys = false;
+  victim_spec.predicate.residual = [&](const Tuple&) {
+    victim_rows.fetch_add(1);
+    return true;
+  };
+  QueryHandle victim =
+      session.Query().FromSpec(std::move(victim_spec)).Submit();
+  victim.Cancel();
+  const QueryResult& cancelled = victim.Wait();
+  gate.store(true);
+  EXPECT_TRUE(blocking.Wait().status.ok());
+
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(cancelled.metrics.cancelled);
+  // Never admitted: no execution wall time, no charges, not one tuple seen.
+  EXPECT_EQ(cancelled.metrics.exec_ms, 0.0);
+  EXPECT_EQ(cancelled.metrics.io_requests, 0u);
+  EXPECT_EQ(cancelled.metrics.tuples, 0u);
+  EXPECT_EQ(victim_rows.load(), 0u);
+}
+
+TEST_F(ConcurrentEngineTest, CancelMidExecutionDetachesSharedConsumer) {
+  ScanSharingCoordinator coordinator(engine_.get());
+  QueryEngineOptions qeo;
+  qeo.max_admitted = 8;
+  qeo.sharing = &coordinator;
+  QueryEngine qe(engine_.get(), qeo);
+  SessionOptions so;
+  so.max_outstanding = 8;
+  Session session(&qe, so);
+
+  const ScanPredicate pred = db_->PredicateForSelectivity(0.4);
+  const std::multiset<int64_t> oracle = Oracle(pred);
+
+  // Eight consumers attach to one cooperative scan; the victim parks after
+  // its first tuple so the cancel demonstrably lands mid-lap.
+  std::atomic<bool> victim_started{false};
+  std::atomic<bool> victim_release{false};
+  std::vector<QueryHandle> peers;
+  for (int i = 0; i < 7; ++i) {
+    peers.push_back(session.Query()
+                        .Table(&db_->index())
+                        .Predicate(pred)
+                        .Policy(PathKind::kSharedScan)
+                        .CollectKeys()
+                        .Submit());
+  }
+  QuerySpec victim_spec = Spec(PathKind::kSharedScan, 0.4);
+  victim_spec.predicate.residual = [&](const Tuple&) {
+    victim_started.store(true);
+    while (!victim_release.load()) std::this_thread::yield();
+    return true;
+  };
+  QueryHandle victim =
+      session.Query().FromSpec(std::move(victim_spec)).Submit();
+  while (!victim_started.load()) std::this_thread::yield();
+  victim.Cancel();
+  victim_release.store(true);
+
+  const QueryResult& vr = victim.Wait();
+  EXPECT_EQ(vr.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(vr.metrics.cancelled);
+  // The Detach left the cooperative scan intact: all seven peers still
+  // deliver the exact oracle multiset.
+  for (QueryHandle& peer : peers) {
+    const QueryResult& r = peer.Wait();
+    ASSERT_TRUE(r.status.ok());
+    const std::multiset<int64_t> got(r.keys.begin(), r.keys.end());
+    EXPECT_EQ(got, oracle);
+  }
 }
 
 TEST(LatencyPercentileTest, NearestRank) {

@@ -322,7 +322,7 @@ TEST_F(MemGovernanceTest, BrokerOnOffCostsBitIdenticalAcrossCaps) {
     qeo.scheduler = &scheduler;
     QueryEngine qe(engine_.get(), qeo);
     for (size_t i = 0; i < specs.size(); ++i) {
-      const QueryResult r = qe.Wait(qe.Submit(specs[i]));
+      const QueryResult r = qe.WaitSpec(qe.SubmitSpec(specs[i]));
       ASSERT_TRUE(r.status.ok());
       const std::multiset<int64_t> got(r.keys.begin(), r.keys.end());
       ASSERT_EQ(got, oracles[i]) << "reference spec " << i;
@@ -359,11 +359,11 @@ TEST_F(MemGovernanceTest, BrokerOnOffCostsBitIdenticalAcrossCaps) {
     ASSERT_FALSE(broker.UnderPressure());
 
     std::vector<QueryEngine::QueryId> ids;
-    for (const QuerySpec& spec : specs) ids.push_back(qe.Submit(spec));
+    for (const QuerySpec& spec : specs) ids.push_back(qe.SubmitSpec(spec));
     uint64_t breaches = 0;
     uint64_t peak = 0;
     for (size_t i = 0; i < ids.size(); ++i) {
-      const QueryResult r = qe.Wait(ids[i]);
+      const QueryResult r = qe.WaitSpec(ids[i]);
       ASSERT_TRUE(r.status.ok()) << "governance must never fail a query";
       const std::multiset<int64_t> got(r.keys.begin(), r.keys.end());
       EXPECT_EQ(got, oracles[i]) << "spec " << i << " cap " << cap;

@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "access/parallel_scan.h"
+#include "access/smooth_scan.h"
 #include "engine/query_engine.h"
 #include "exec/task_scheduler.h"
 #include "mem/batch_pool.h"
@@ -326,9 +328,9 @@ TEST(ObsDifferentialTest, SimCostBitIdenticalWithObservabilityOnOrOff) {
     {
       QueryEngine qe(&engine, off);
       std::vector<QueryEngine::QueryId> ids;
-      for (const QuerySpec& spec : specs) ids.push_back(qe.Submit(spec));
+      for (const QuerySpec& spec : specs) ids.push_back(qe.SubmitSpec(spec));
       for (const QueryEngine::QueryId id : ids) {
-        const QueryResult res = qe.Wait(id);
+        const QueryResult res = qe.WaitSpec(id);
         ASSERT_TRUE(res.status.ok());
         baseline.push_back(res.metrics);
       }
@@ -336,9 +338,9 @@ TEST(ObsDifferentialTest, SimCostBitIdenticalWithObservabilityOnOrOff) {
     {
       QueryEngine qe(&engine, on);
       std::vector<QueryEngine::QueryId> ids;
-      for (const QuerySpec& spec : specs) ids.push_back(qe.Submit(spec));
+      for (const QuerySpec& spec : specs) ids.push_back(qe.SubmitSpec(spec));
       for (size_t i = 0; i < ids.size(); ++i) {
-        const QueryResult res = qe.Wait(ids[i]);
+        const QueryResult res = qe.WaitSpec(ids[i]);
         ASSERT_TRUE(res.status.ok());
         const QueryMetrics& a = baseline[i];
         const QueryMetrics& b = res.metrics;
@@ -415,7 +417,7 @@ TEST(ReconciliationTest, BufferPoolSinkMatchesPoolStats) {
     spec.index = &db.index();
     spec.predicate = db.PredicateForSelectivity(0.3);
     spec.kind = PathKind::kFullScan;
-    ASSERT_TRUE(qe.Wait(qe.Submit(spec)).status.ok());
+    ASSERT_TRUE(qe.WaitSpec(qe.SubmitSpec(spec)).status.ok());
   }
   EXPECT_GT(engine_registry.Snapshot().Value("bufferpool.misses"), 0.0);
 }
@@ -463,7 +465,7 @@ TEST(MorphTimelineTest, TracedSmoothScanEmitsMorphInstants) {
     spec.index = &db.index();
     spec.predicate = db.PredicateForSelectivity(0.4);
     spec.kind = PathKind::kSmoothScan;
-    ASSERT_TRUE(qe.Wait(qe.Submit(spec)).status.ok());
+    ASSERT_TRUE(qe.WaitSpec(qe.SubmitSpec(spec)).status.ok());
   }
   const std::string json = collector.ExportJson();
   // The full query span tree plus the morph timeline, with policy payloads.
@@ -479,6 +481,86 @@ TEST(MorphTimelineTest, TracedSmoothScanEmitsMorphInstants) {
   EXPECT_NE(json.find("\"policy\""), std::string::npos);
   const obs::MetricsSnapshot snap = registry.Snapshot();
   EXPECT_GE(snap.Value("smooth.region_grows"), 1.0);
+}
+
+TEST(ReconciliationTest, SmoothCountersMatchOperatorStatsSerialAndParallel) {
+  EngineOptions eo;
+  eo.buffer_pool_pages = 256;
+  Engine engine(eo);
+  MicroBenchSpec dbspec;
+  dbspec.num_tuples = 20000;
+  dbspec.value_max = 4000;
+  dbspec.seed = 17;
+  MicroBenchDb db(&engine, dbspec);
+  TaskScheduler scheduler(4);
+  const ScanPredicate pred = db.PredicateForSelectivity(0.3);
+
+  // Serial: the operator's own SmoothScanStats and the registry's
+  // counter-backed smooth.* metrics are two books of one run.
+  uint64_t serial_tuples = 0;
+  {
+    obs::MetricsRegistry registry;
+    obs::ObsContext obs;
+    obs.metrics = &registry;
+    engine.ColdRestart();
+    SmoothScan path(&db.index(), pred);
+    path.SetObs(&obs);
+    ASSERT_TRUE(path.Open().ok());
+    TupleBatch batch;
+    while (path.NextBatch(&batch)) serial_tuples += batch.size();
+    const SmoothScanStats ss = path.smooth_stats();
+    path.Close();
+    const obs::MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(static_cast<uint64_t>(snap.Value("smooth.region_grows")),
+              ss.expansions);
+    EXPECT_EQ(static_cast<uint64_t>(snap.Value("smooth.region_shrinks")),
+              ss.shrinks);
+    EXPECT_EQ(static_cast<uint64_t>(snap.Value("smooth.page_cache_hits")),
+              ss.page_cache_hits);
+    EXPECT_GT(ss.expansions, 0u);       // 30% selectivity: the region grows.
+    EXPECT_GT(ss.page_cache_hits, 0u);  // ... so later targets are skipped.
+  }
+
+  // Parallel, at two DOPs: the kernel's morsel-merged stats reconcile with
+  // the registry the same way — and, the determinism claim, each stream's
+  // growth decisions use only its own counters, so the totals are a function
+  // of the morsel partition, not of scheduling or worker count.
+  SmoothScanStats parallel_stats[2];
+  const uint32_t kDops[2] = {2, 8};
+  for (int i = 0; i < 2; ++i) {
+    obs::MetricsRegistry registry;
+    obs::ObsContext obs;
+    obs.metrics = &registry;
+    engine.ColdRestart();
+    ParallelScanOptions po;
+    po.dop = kDops[i];
+    po.scheduler = &scheduler;
+    std::unique_ptr<ParallelScan> path =
+        MakeParallelSmoothScan(&db.index(), pred, SmoothScanOptions(), po);
+    path->SetObs(&obs);
+    ASSERT_TRUE(path->Open().ok());
+    uint64_t tuples = 0;
+    TupleBatch batch;
+    while (path->NextBatch(&batch)) tuples += batch.size();
+    parallel_stats[i] = path->kernel()->smooth_stats();
+    path->Close();
+    EXPECT_EQ(tuples, serial_tuples);
+    const obs::MetricsSnapshot snap = registry.Snapshot();
+    const SmoothScanStats& ss = parallel_stats[i];
+    EXPECT_EQ(static_cast<uint64_t>(snap.Value("smooth.region_grows")),
+              ss.expansions);
+    EXPECT_EQ(static_cast<uint64_t>(snap.Value("smooth.region_shrinks")),
+              ss.shrinks);
+    EXPECT_EQ(static_cast<uint64_t>(snap.Value("smooth.page_cache_hits")),
+              ss.page_cache_hits);
+    // Eager-only kernel: the deferred trigger never fires, so the serial-
+    // only morph_triggers counter must not appear.
+    EXPECT_FALSE(snap.Has("smooth.morph_triggers"));
+  }
+  EXPECT_EQ(parallel_stats[0].expansions, parallel_stats[1].expansions);
+  EXPECT_EQ(parallel_stats[0].shrinks, parallel_stats[1].shrinks);
+  EXPECT_EQ(parallel_stats[0].page_cache_hits,
+            parallel_stats[1].page_cache_hits);
 }
 
 TEST(WorkloadReportTest, CarriesRegistrySnapshotAndBrokerState) {

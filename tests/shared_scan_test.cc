@@ -150,15 +150,15 @@ TEST_F(SharedScanTest, AttachedResultsMatchSoloAcrossPathsAndSelectivities) {
   for (size_t s = 0; s < 3; ++s) {
     for (int i = 0; i < 8; ++i) {
       shared_ids[s].push_back(
-          qe.Submit(Spec(PathKind::kSharedScan, kSelectivities[s])));
+          qe.SubmitSpec(Spec(PathKind::kSharedScan, kSelectivities[s])));
     }
   }
   std::vector<QueryEngine::QueryId> classic_ids;
-  for (const QuerySpec& spec : classic) classic_ids.push_back(qe.Submit(spec));
+  for (const QuerySpec& spec : classic) classic_ids.push_back(qe.SubmitSpec(spec));
 
   for (size_t s = 0; s < 3; ++s) {
     for (const QueryEngine::QueryId id : shared_ids[s]) {
-      const QueryResult result = qe.Wait(id);
+      const QueryResult result = qe.WaitSpec(id);
       ASSERT_TRUE(result.status.ok());
       EXPECT_EQ(result.metrics.kind, PathKind::kSharedScan);
       const std::multiset<int64_t> got(result.keys.begin(),
@@ -167,7 +167,7 @@ TEST_F(SharedScanTest, AttachedResultsMatchSoloAcrossPathsAndSelectivities) {
     }
   }
   for (size_t i = 0; i < classic_ids.size(); ++i) {
-    const QueryResult result = qe.Wait(classic_ids[i]);
+    const QueryResult result = qe.WaitSpec(classic_ids[i]);
     ASSERT_TRUE(result.status.ok());
     const std::multiset<int64_t> got(result.keys.begin(), result.keys.end());
     EXPECT_EQ(got, classic_oracles[i]) << "classic spec " << i;
@@ -422,7 +422,7 @@ TEST_F(SharedScanTest, ShareAwareAdmissionGroupsSameTableArrivals) {
     }
     return true;
   };
-  const QueryEngine::QueryId id0 = qe.Submit(q0);
+  const QueryEngine::QueryId id0 = qe.SubmitSpec(q0);
   while (!started0.load()) std::this_thread::yield();
 
   // qb occupies the second executor until both contenders are queued.
@@ -438,16 +438,16 @@ TEST_F(SharedScanTest, ShareAwareAdmissionGroupsSameTableArrivals) {
     }
     return true;
   };
-  const QueryEngine::QueryId idb = qe.Submit(qb);
+  const QueryEngine::QueryId idb = qe.SubmitSpec(qb);
   while (!started_b.load()) std::this_thread::yield();
 
   // Contenders: q1 (older, not share-eligible) then q2 (share-eligible).
   QuerySpec q1 = Spec(PathKind::kFullScan, 0.01);
   q1.collect_keys = false;
-  const QueryEngine::QueryId id1 = qe.Submit(q1);
+  const QueryEngine::QueryId id1 = qe.SubmitSpec(q1);
   QuerySpec q2 = Spec(PathKind::kSharedScan, 0.5);
   q2.collect_keys = false;
-  const QueryEngine::QueryId id2 = qe.Submit(q2);
+  const QueryEngine::QueryId id2 = qe.SubmitSpec(q2);
   EXPECT_EQ(qe.queue_depth(), 2u);
 
   // Free one executor: the share-aware pop must admit q2, not q1.
@@ -455,10 +455,10 @@ TEST_F(SharedScanTest, ShareAwareAdmissionGroupsSameTableArrivals) {
   while (qe.queue_depth() != 1) std::this_thread::yield();
   gate0.store(true);
 
-  EXPECT_TRUE(qe.Wait(idb).status.ok());
-  EXPECT_TRUE(qe.Wait(id0).status.ok());
-  const QueryResult r1 = qe.Wait(id1);
-  const QueryResult r2 = qe.Wait(id2);
+  EXPECT_TRUE(qe.WaitSpec(idb).status.ok());
+  EXPECT_TRUE(qe.WaitSpec(id0).status.ok());
+  const QueryResult r1 = qe.WaitSpec(id1);
+  const QueryResult r2 = qe.WaitSpec(id2);
   EXPECT_TRUE(r1.status.ok());
   EXPECT_TRUE(r2.status.ok());
   // q2 was admitted while q1 still queued behind the parked shared scan.

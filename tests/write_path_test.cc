@@ -606,7 +606,7 @@ TEST(SharedScanWriteTest, PublishInvalidatesParkedGroupAndNewLapSeesWrites) {
     spec.predicate = db.PredicateForSelectivity(1.0);
     spec.predicate.hi = hi;
     spec.kind = PathKind::kSharedScan;
-    return qe.Wait(qe.Submit(std::move(spec))).metrics.tuples;
+    return qe.WaitSpec(qe.SubmitSpec(std::move(spec))).metrics.tuples;
   };
 
   const uint64_t before = shared_count(1);  // Tuples with c2 == 0.
@@ -620,7 +620,7 @@ TEST(SharedScanWriteTest, PublishInvalidatesParkedGroupAndNewLapSeesWrites) {
     wspec.write_ops.push_back(
         WriteOp::MakeInsert(MakeRow(db.heap().schema(), 7000000 + i, 0)));
   }
-  ASSERT_TRUE(qe.Wait(qe.Submit(std::move(wspec))).status.ok());
+  ASSERT_TRUE(qe.WaitSpec(qe.SubmitSpec(std::move(wspec))).status.ok());
   // Quiescent engine → the era published and the hook retired the group.
   EXPECT_EQ(sharing.GroupFor(&db.heap()), nullptr);
   EXPECT_GT(db.heap().num_pages(), pages_before);
@@ -657,7 +657,7 @@ TEST(WriteConcurrencyTest, ScannersRaceWritersSafely) {
         spec.index = &db.index();
         spec.predicate = db.PredicateForSelectivity(0.5);
         spec.kind = q % 2 == 0 ? PathKind::kFullScan : PathKind::kSmoothScan;
-        const QueryResult res = qe.Wait(qe.Submit(std::move(spec)));
+        const QueryResult res = qe.WaitSpec(qe.SubmitSpec(std::move(spec)));
         ASSERT_TRUE(res.status.ok());
       }
     });
@@ -672,11 +672,11 @@ TEST(WriteConcurrencyTest, ScannersRaceWritersSafely) {
             db.heap().schema(), 9000000 + b * 20 + i,
             rng.UniformInt(0, 100000))));
       }
-      ASSERT_TRUE(qe.Wait(qe.Submit(std::move(spec))).status.ok());
+      ASSERT_TRUE(qe.WaitSpec(qe.SubmitSpec(std::move(spec))).status.ok());
     }
   });
   for (std::thread& t : threads) t.join();
-  qe.Drain();
+  qe.DrainAll();
 
   // All writes landed (publishes interleaved with scans at quiescent gaps).
   TableVersionRegistry::ReadLease lease =
